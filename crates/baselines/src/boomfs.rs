@@ -1,0 +1,326 @@
+//! Boom-FS: metadata replicated through a Paxos distributed log.
+//!
+//! "To achieve reliability, it adopts a globally-consistent distributed log
+//! to guarantee a total ordering over events affecting replicated states"
+//! (Section II). Every metadata mutation is proposed into the
+//! `mams-paxos` replicated log and applied at every member; reads are
+//! served by the leader. The costs the paper attributes to this design fall
+//! out structurally: each mutation pays a consensus round trip in the
+//! normal case, and failover pays leader election plus log repair
+//! ("centralizing repair action decisions and state transition, which leads
+//! to additional failover time").
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use mams_coord::{CoordClient, Incoming};
+use mams_core::{CpuModel, FsOp, Ingress, IngressItem, MdsReq, MdsResp, OpOutput};
+use mams_namespace::NamespaceTree;
+use mams_paxos::rsm::{RsmApp, RsmConfig, RsmMsg, RsmNode};
+use mams_sim::{Ctx, Duration, Message, Node, NodeId, Sim};
+
+use crate::common::{exec_op, RetryCache};
+
+/// Adapter timer tokens (RSM uses 1 and 2).
+const T_PUBLISH: u64 = 100;
+const T_DRAIN: u64 = 101;
+
+#[derive(Debug, Clone, Copy)]
+pub struct BoomFsSpec {
+    /// Replica count (the distributed log's membership).
+    pub members: usize,
+    pub heartbeat: Duration,
+    /// Leader failure-detection budget; Boom-FS sits between MAMS (~5 s
+    /// session timeout) and the heavier namenode designs.
+    pub election_timeout: Duration,
+    /// Leader-side consensus CPU per mutation (proposal marshalling +
+    /// accept handling for each follower).
+    pub consensus_cpu: Duration,
+}
+
+impl Default for BoomFsSpec {
+    fn default() -> Self {
+        BoomFsSpec {
+            members: 3,
+            heartbeat: Duration::from_millis(500),
+            election_timeout: Duration::from_secs(6),
+            consensus_cpu: Duration::from_micros(40),
+        }
+    }
+}
+
+/// The replicated application: a namespace driven by serialized [`FsOp`]s.
+pub struct NsApp {
+    ns: NamespaceTree,
+    next_block: u64,
+}
+
+impl NsApp {
+    fn new() -> Self {
+        NsApp { ns: NamespaceTree::new(), next_block: 1 }
+    }
+}
+
+impl RsmApp for NsApp {
+    fn apply(&mut self, _slot: u64, cmd: &Bytes) {
+        if let Ok(op) = serde_json::from_slice::<FsOp>(cmd) {
+            // Validation happens at apply time in an RSM; a failed op is a
+            // no-op on the state (all replicas agree on that too).
+            let _ = exec_op(&mut self.ns, &mut self.next_block, &op);
+        }
+    }
+
+    fn query(&mut self, q: &Bytes) -> Bytes {
+        let result: Result<OpOutput, String> = match serde_json::from_slice::<FsOp>(q) {
+            Ok(op) => exec_op(&mut self.ns, &mut self.next_block, &op).map(|(_, out)| out),
+            Err(e) => Err(e.to_string()),
+        };
+        Bytes::from(serde_json::to_vec(&result).expect("serializable result"))
+    }
+}
+
+/// One Boom-FS server: an RSM member plus the client-protocol adapter.
+pub struct BoomFsServer {
+    rsm: RsmNode<NsApp>,
+    coord: CoordClient,
+    published: bool,
+    retry: RetryCache,
+    /// rsm request id → (client, client seq, is_query).
+    waiting: HashMap<u64, (NodeId, u64)>,
+    next_req: u64,
+    ingress: Ingress,
+    cpu: CpuModel,
+    consensus_cpu: Duration,
+}
+
+impl BoomFsServer {
+    pub fn new(coord: NodeId, cfg: RsmConfig, consensus_cpu: Duration) -> Self {
+        BoomFsServer {
+            rsm: RsmNode::new(cfg, NsApp::new()),
+            coord: CoordClient::new(coord, Duration::from_secs(2)),
+            published: false,
+            retry: RetryCache::new(),
+            waiting: HashMap::new(),
+            next_req: 1,
+            ingress: Ingress::default(),
+            cpu: CpuModel::default(),
+            consensus_cpu,
+        }
+    }
+
+    fn drain(&mut self, ctx: &mut Ctx<'_>) {
+        let mut cpu = self.cpu;
+        cpu.mutation += self.consensus_cpu;
+        for item in self.ingress.drain(Duration::from_millis(2), cpu) {
+            if let IngressItem::Client { from, op, seq } = item {
+                self.process(ctx, from, op, seq);
+            }
+        }
+    }
+
+    fn process(&mut self, ctx: &mut Ctx<'_>, from: NodeId, op: FsOp, seq: u64) {
+        if !self.rsm.is_leader() {
+            ctx.send(from, MdsResp::NotActive { seq });
+            return;
+        }
+        let encoded = Bytes::from(serde_json::to_vec(&op).expect("serializable op"));
+        let rsm_req = self.next_req;
+        self.next_req += 1;
+        self.waiting.insert(rsm_req, (from, seq));
+        let me = ctx.id();
+        if op.is_mutation() {
+            ctx.send(me, RsmMsg::Propose { cmd: encoded, req: rsm_req });
+        } else {
+            ctx.send(me, RsmMsg::Query { q: encoded, req: rsm_req });
+        }
+    }
+
+    fn reply(&mut self, ctx: &mut Ctx<'_>, to: NodeId, seq: u64, result: Result<OpOutput, String>) {
+        let resp = MdsResp::Reply { seq, result };
+        self.retry.store(to, seq, resp.clone());
+        ctx.send(to, resp);
+    }
+
+    fn maybe_publish(&mut self, ctx: &mut Ctx<'_>) {
+        let leading = self.rsm.is_leader();
+        if leading && !self.published {
+            let me = ctx.id();
+            self.coord.set(ctx, mams_core::keys::active(0), me.to_string(), true);
+            self.published = true;
+        } else if !leading && self.published {
+            self.coord.multi(
+                ctx,
+                vec![mams_coord::KeyOp::Delete { key: mams_core::keys::active(0) }],
+            );
+            self.published = false;
+        }
+    }
+}
+
+impl Node for BoomFsServer {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.coord.start(ctx);
+        self.rsm.on_start(ctx);
+        ctx.set_timer(Duration::from_millis(200), T_PUBLISH);
+        ctx.set_timer(Duration::from_millis(2), T_DRAIN);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if self.coord.on_timer(ctx, token) {
+            return;
+        }
+        if token == T_PUBLISH {
+            self.maybe_publish(ctx);
+            ctx.set_timer(Duration::from_millis(200), T_PUBLISH);
+            return;
+        }
+        if token == T_DRAIN {
+            self.drain(ctx);
+            ctx.set_timer(Duration::from_millis(2), T_DRAIN);
+            return;
+        }
+        self.rsm.on_timer(ctx, token);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Message) {
+        let msg = match CoordClient::classify(msg) {
+            Ok(Incoming::Resp(_) | Incoming::Event(_)) => return,
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<RsmMsg>() {
+            Ok(RsmMsg::ProposeReply { req, committed, .. }) => {
+                if let Some((client, seq)) = self.waiting.remove(&req) {
+                    if committed {
+                        self.reply(ctx, client, seq, Ok(OpOutput::Done));
+                    } else {
+                        ctx.send(client, MdsResp::NotActive { seq });
+                    }
+                }
+                return;
+            }
+            Ok(RsmMsg::QueryReply { req, ok, result, .. }) => {
+                if let Some((client, seq)) = self.waiting.remove(&req) {
+                    if ok {
+                        let decoded: Result<OpOutput, String> = result
+                            .as_deref()
+                            .and_then(|b| serde_json::from_slice(b).ok())
+                            .unwrap_or_else(|| Err("malformed query result".into()));
+                        self.reply(ctx, client, seq, decoded);
+                    } else {
+                        ctx.send(client, MdsResp::NotActive { seq });
+                    }
+                }
+                return;
+            }
+            Ok(other) => {
+                self.rsm.on_message(ctx, from, Message::new(other));
+                return;
+            }
+            Err(m) => m,
+        };
+        if let Ok(req) = msg.downcast::<MdsReq>() {
+            match req {
+                MdsReq::Op { op, seq } => {
+                    if let Some(cached) = self.retry.check(from, seq) {
+                        ctx.send(from, cached);
+                        return;
+                    }
+                    if !self.rsm.is_leader() {
+                        ctx.send(from, MdsResp::NotActive { seq });
+                        return;
+                    }
+                    self.ingress.push(from, op, seq);
+                }
+                MdsReq::BlockReport { .. } | MdsReq::Checkpoint => {}
+            }
+        }
+    }
+}
+
+/// Build a Boom-FS cluster. Returns the member node ids.
+pub fn build(sim: &mut Sim, coord: NodeId, spec: BoomFsSpec) -> Vec<NodeId> {
+    let base = sim.num_nodes() as NodeId;
+    let members: Vec<NodeId> = (0..spec.members as NodeId).map(|i| base + i).collect();
+    for (i, &planned) in members.iter().enumerate() {
+        let mut cfg = RsmConfig::new(members.clone(), i as u32);
+        cfg.heartbeat = spec.heartbeat;
+        cfg.election_timeout = spec.election_timeout;
+        let got = sim.add_node(
+            format!("boomfs-{i}"),
+            Box::new(BoomFsServer::new(coord, cfg, spec.consensus_cpu)),
+        );
+        assert_eq!(got, planned);
+    }
+    members
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mams_cluster::metrics::Metrics;
+    use mams_cluster::mttr::mttr_from_completions;
+    use mams_cluster::workload::Workload;
+    use mams_cluster::{ClientConfig, FsClient};
+    use mams_coord::{CoordConfig, CoordServer};
+    use mams_namespace::Partitioner;
+    use mams_sim::{DetRng, Sim, SimConfig, SimTime};
+
+    fn boot(seed: u64) -> (Sim, NodeId, Vec<NodeId>) {
+        let mut sim = Sim::new(SimConfig { seed, ..SimConfig::default() });
+        let coord = sim.add_node("coord", Box::new(CoordServer::new(CoordConfig::default())));
+        let members = build(&mut sim, coord, BoomFsSpec::default());
+        (sim, coord, members)
+    }
+
+    #[test]
+    fn serves_clients_after_electing_a_leader() {
+        let (mut sim, coord, _members) = boot(11);
+        let m = Metrics::new(false);
+        let mut cfg = ClientConfig::new(coord, Partitioner::new(1));
+        cfg.start_delay = Duration::from_secs(10); // let the RSM elect
+        sim.add_node(
+            "client",
+            Box::new(FsClient::new(cfg, Workload::mixed(0), m.clone(), DetRng::seed_from_u64(5))),
+        );
+        sim.run_for(Duration::from_secs(40));
+        assert!(m.ok_count() > 300, "got {}", m.ok_count());
+        assert_eq!(m.failed_count(), 0);
+    }
+
+    #[test]
+    fn leader_crash_recovers_slower_than_mams_but_recovers() {
+        let (mut sim, coord, members) = boot(12);
+        let m = Metrics::new(true);
+        let mut cfg = ClientConfig::new(coord, Partitioner::new(1));
+        cfg.start_delay = Duration::from_secs(10);
+        sim.add_node(
+            "client",
+            Box::new(FsClient::new(cfg, Workload::create_only(0), m.clone(), DetRng::seed_from_u64(6))),
+        );
+        // Kill whichever member is the published leader at t=30s.
+        let kill = SimTime(30_000_000);
+        sim.at(kill, move |s| {
+            // The leader is the one whose name appears in the last
+            // lock-free way we have: crash the first member that traced
+            // rsm.leader most recently. Simpler: crash members[0] if up —
+            // election is symmetric, so re-run with the real leader below.
+            let _ = &members;
+            // Find the leader via the trace.
+            let leader = s
+                .trace()
+                .events()
+                .iter()
+                .rev()
+                .find(|e| e.tag == "rsm.leader")
+                .map(|e| e.node)
+                .expect("a leader was elected");
+            s.crash(leader);
+        });
+        sim.run_for(Duration::from_secs(80));
+        let outages = mttr_from_completions(&m.completions(), &[kill.micros()]);
+        assert_eq!(outages.len(), 1, "service must recover after leader crash");
+        let mttr = outages[0].mttr_secs();
+        // Election timeout 6 s (±50% jitter) + repair: expect ~4–14 s.
+        assert!((3.0..16.0).contains(&mttr), "BoomFS MTTR {mttr:.1}s");
+    }
+}

@@ -1,0 +1,151 @@
+//! Shared machinery for baseline namenodes: operation execution, batching,
+//! reply caching, and the scale model.
+
+use mams_core::{FsOp, MdsResp, OpOutput};
+use mams_journal::Txn;
+use mams_namespace::NamespaceTree;
+use mams_sim::{Ctx, NodeId};
+
+/// File-system scale for experiments that cannot materialize millions of
+/// inodes. Derived from the paper's calibration point: a ~1 GB image holds
+/// "more than 7 million files" (Section IV-B), i.e. ~150 B of image per
+/// file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FsScale {
+    pub nominal_files: u64,
+}
+
+impl FsScale {
+    pub const BYTES_PER_FILE: u64 = 150;
+
+    pub fn from_image_bytes(image_bytes: u64) -> Self {
+        FsScale { nominal_files: image_bytes / Self::BYTES_PER_FILE }
+    }
+
+    pub fn from_image_mb(image_mb: u64) -> Self {
+        Self::from_image_bytes(image_mb * 1024 * 1024)
+    }
+
+    pub fn image_bytes(&self) -> u64 {
+        self.nominal_files * Self::BYTES_PER_FILE
+    }
+}
+
+/// Execute one client operation against a namespace, producing the journal
+/// record for mutations. Identical semantics to the MAMS active's execution
+/// path, so all systems agree on op outcomes.
+pub fn exec_op(
+    ns: &mut NamespaceTree,
+    next_block: &mut u64,
+    op: &FsOp,
+) -> Result<(Option<Txn>, OpOutput), String> {
+    match op {
+        FsOp::GetFileInfo { path } => ns
+            .getfileinfo(path)
+            .map(|i| (None, OpOutput::Info(i)))
+            .map_err(|e| e.to_string()),
+        FsOp::List { path } => {
+            ns.list(path).map(|l| (None, OpOutput::Listing(l))).map_err(|e| e.to_string())
+        }
+        FsOp::Create { path, replication } => ns
+            .create(path, *replication)
+            .map(|i| {
+                (
+                    Some(Txn::Create { path: path.clone(), replication: *replication }),
+                    OpOutput::Info(i),
+                )
+            })
+            .map_err(|e| e.to_string()),
+        FsOp::Mkdir { path } => ns
+            .mkdir(path)
+            .map(|()| (Some(Txn::Mkdir { path: path.clone() }), OpOutput::Done))
+            .map_err(|e| e.to_string()),
+        FsOp::Delete { path, recursive } => ns
+            .delete(path, *recursive)
+            .map(|_| {
+                (Some(Txn::Delete { path: path.clone(), recursive: *recursive }), OpOutput::Done)
+            })
+            .map_err(|e| e.to_string()),
+        FsOp::Rename { src, dst } => ns
+            .rename(src, dst)
+            .map(|()| (Some(Txn::Rename { src: src.clone(), dst: dst.clone() }), OpOutput::Done))
+            .map_err(|e| e.to_string()),
+        FsOp::AddBlock { path, len } => {
+            let id = *next_block;
+            ns.add_block(path, id)
+                .map(|()| {
+                    *next_block += 1;
+                    (
+                        Some(Txn::AddBlock { path: path.clone(), block_id: id, len: *len }),
+                        OpOutput::Block(id),
+                    )
+                })
+                .map_err(|e| e.to_string())
+        }
+        FsOp::CloseFile { path } => ns
+            .close_file(path)
+            .map(|()| (Some(Txn::CloseFile { path: path.clone() }), OpOutput::Done))
+            .map_err(|e| e.to_string()),
+        FsOp::SetPerm { path, perm } => ns
+            .set_perm(path, *perm)
+            .map(|()| (Some(Txn::SetPerm { path: path.clone(), perm: *perm }), OpOutput::Done))
+            .map_err(|e| e.to_string()),
+    }
+}
+
+/// Re-exported duplicate-suppression cache (same type MAMS uses, so every
+/// system handles retried requests identically).
+pub use mams_core::retry::RetryCache;
+
+/// A client reply waiting on durability: `(client, seq, result)`.
+pub type PendingReply = (NodeId, u64, Result<OpOutput, String>);
+
+/// Reply to a client, updating the retry cache.
+pub fn reply(
+    cache: &mut RetryCache,
+    ctx: &mut Ctx<'_>,
+    to: NodeId,
+    seq: u64,
+    result: Result<OpOutput, String>,
+) {
+    let resp = MdsResp::Reply { seq, result };
+    cache.store(to, seq, resp.clone());
+    ctx.send(to, resp);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_calibration_matches_paper() {
+        let s = FsScale::from_image_mb(1024);
+        assert!(
+            (6_500_000..8_000_000).contains(&s.nominal_files),
+            "1 GB ↔ ~7M files, got {}",
+            s.nominal_files
+        );
+        assert_eq!(FsScale { nominal_files: 10 }.image_bytes(), 1_500);
+    }
+
+    #[test]
+    fn exec_op_matches_tree_semantics() {
+        let mut ns = NamespaceTree::new();
+        let mut nb = 1u64;
+        let (txn, _) = exec_op(&mut ns, &mut nb, &FsOp::Mkdir { path: "/a".into() }).unwrap();
+        assert!(matches!(txn, Some(Txn::Mkdir { .. })));
+        let (txn, out) =
+            exec_op(&mut ns, &mut nb, &FsOp::Create { path: "/a/f".into(), replication: 2 })
+                .unwrap();
+        assert!(matches!(txn, Some(Txn::Create { .. })));
+        assert!(matches!(out, OpOutput::Info(_)));
+        let (txn, _) =
+            exec_op(&mut ns, &mut nb, &FsOp::GetFileInfo { path: "/a/f".into() }).unwrap();
+        assert!(txn.is_none(), "reads are not journaled");
+        let err = exec_op(&mut ns, &mut nb, &FsOp::Mkdir { path: "/a".into() }).unwrap_err();
+        assert!(err.contains("already exists"));
+        // Block allocation advances the counter.
+        exec_op(&mut ns, &mut nb, &FsOp::AddBlock { path: "/a/f".into(), len: 42 }).unwrap();
+        assert_eq!(nb, 2);
+    }
+}

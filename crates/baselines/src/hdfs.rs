@@ -1,0 +1,188 @@
+//! Vanilla single-namenode HDFS: the throughput reference with no
+//! reliability mechanism (and no recovery — if the namenode dies, the file
+//! system is down, which is exactly the paper's motivation).
+
+use mams_coord::{CoordClient, Incoming};
+use mams_core::{CpuModel, Ingress, MdsReq, MdsResp};
+use mams_namespace::NamespaceTree;
+use mams_sim::{Ctx, Duration, Message, Node, NodeId, Sim};
+
+use crate::common::{exec_op, reply, RetryCache};
+
+const T_FLUSH: u64 = 1;
+/// Flush-completion timers are `T_DISK_BASE + token`.
+const T_DISK_BASE: u64 = 1_000;
+
+/// Tuning for the vanilla namenode.
+#[derive(Debug, Clone, Copy)]
+pub struct HdfsSpec {
+    /// Journal batch aggregation interval (same as MAMS for fairness).
+    pub flush_interval: Duration,
+    /// Local edit-log fsync latency.
+    pub disk_latency: Duration,
+    /// Primary-side journaling CPU per mutation (local edit log append is amortized by group commit).
+    pub journal_cpu: Duration,
+}
+
+impl Default for HdfsSpec {
+    fn default() -> Self {
+        HdfsSpec {
+            flush_interval: Duration::from_millis(2),
+            disk_latency: Duration::from_micros(1_500),
+            journal_cpu: Duration::from_micros(0),
+        }
+    }
+}
+
+/// The single namenode.
+pub struct HdfsNameNode {
+    spec: HdfsSpec,
+    coord: CoordClient,
+    ns: NamespaceTree,
+    next_block: u64,
+    retry: RetryCache,
+    /// Mutation replies awaiting the next flush.
+    pending: Vec<crate::common::PendingReply>,
+    /// Flushes whose disk write is in progress, by timer token.
+    flushing: std::collections::HashMap<u64, Vec<crate::common::PendingReply>>,
+    next_disk_token: u64,
+    ingress: Ingress,
+    cpu: CpuModel,
+}
+
+impl HdfsNameNode {
+    pub fn new(coord: NodeId, spec: HdfsSpec) -> Self {
+        HdfsNameNode {
+            spec,
+            coord: CoordClient::new(coord, Duration::from_secs(2)),
+            ns: NamespaceTree::new(),
+            next_block: 1,
+            retry: RetryCache::new(),
+            pending: Vec::new(),
+            flushing: std::collections::HashMap::new(),
+            next_disk_token: T_DISK_BASE,
+            ingress: Ingress::default(),
+            cpu: CpuModel::default(),
+        }
+    }
+
+    fn serve(&mut self, ctx: &mut Ctx<'_>, from: NodeId, op: mams_core::FsOp, seq: u64) {
+        if let Some(cached) = self.retry.check(from, seq) {
+            ctx.send(from, cached);
+            return;
+        }
+        match exec_op(&mut self.ns, &mut self.next_block, &op) {
+            Ok((txn, out)) => {
+                if txn.is_some() {
+                    self.pending.push((from, seq, Ok(out)));
+                } else {
+                    reply(&mut self.retry, ctx, from, seq, Ok(out));
+                }
+            }
+            Err(e) => {
+                let resp = MdsResp::Reply { seq, result: Err(e) };
+                self.retry.store(from, seq, resp.clone());
+                ctx.send(from, resp);
+            }
+        }
+    }
+
+    fn flush(&mut self, ctx: &mut Ctx<'_>) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.pending);
+        let token = self.next_disk_token;
+        self.next_disk_token += 1;
+        self.flushing.insert(token, batch);
+        ctx.set_timer(self.spec.disk_latency, token);
+    }
+}
+
+impl Node for HdfsNameNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.coord.start(ctx);
+        ctx.set_timer(self.spec.flush_interval, T_FLUSH);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if self.coord.on_timer(ctx, token) {
+            return;
+        }
+        if token == T_FLUSH {
+            let budget = self.spec.flush_interval;
+            let mut cpu = self.cpu;
+            cpu.mutation += self.spec.journal_cpu;
+            for item in self.ingress.drain(budget, cpu) {
+                if let mams_core::IngressItem::Client { from, op, seq } = item {
+                    self.serve(ctx, from, op, seq);
+                }
+            }
+            self.flush(ctx);
+            ctx.set_timer(self.spec.flush_interval, T_FLUSH);
+        } else if let Some(replies) = self.flushing.remove(&token) {
+            for (to, seq, result) in replies {
+                reply(&mut self.retry, ctx, to, seq, result);
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Message) {
+        let msg = match CoordClient::classify(msg) {
+            Ok(Incoming::Resp(mams_coord::CoordResp::Registered)) => {
+                // Publish ourselves as the (only) active for group 0.
+                let me = ctx.id();
+                self.coord.set(ctx, mams_core::keys::active(0), me.to_string(), true);
+                return;
+            }
+            Ok(_) => return,
+            Err(m) => m,
+        };
+        if let Ok(req) = msg.downcast::<MdsReq>() {
+            match req {
+                MdsReq::Op { op, seq } => {
+                    self.ingress.push(from, op, seq);
+                }
+                MdsReq::BlockReport { .. } | MdsReq::Checkpoint => {}
+            }
+        }
+    }
+}
+
+/// Add a vanilla HDFS namenode to the simulation (publishing itself as
+/// group 0's active in the global view so `FsClient` routes to it).
+pub fn build(sim: &mut Sim, coord: NodeId, spec: HdfsSpec) -> NodeId {
+    sim.add_node("hdfs-nn", Box::new(HdfsNameNode::new(coord, spec)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mams_cluster::metrics::Metrics;
+    use mams_cluster::workload::Workload;
+    use mams_cluster::{ClientConfig, FsClient};
+    use mams_coord::{CoordConfig, CoordServer};
+    use mams_namespace::Partitioner;
+    use mams_sim::{DetRng, Sim, SimConfig};
+
+    #[test]
+    fn serves_clients_through_the_standard_client_library() {
+        let mut sim = Sim::new(SimConfig::default());
+        let coord = sim.add_node("coord", Box::new(CoordServer::new(CoordConfig::default())));
+        build(&mut sim, coord, HdfsSpec::default());
+        let m = Metrics::new(false);
+        let cfg = ClientConfig::new(coord, Partitioner::new(1));
+        sim.add_node(
+            "client",
+            Box::new(FsClient::new(
+                cfg,
+                Workload::mixed(0),
+                m.clone(),
+                DetRng::seed_from_u64(1),
+            )),
+        );
+        sim.run_for(Duration::from_secs(10));
+        assert!(m.ok_count() > 500, "got {}", m.ok_count());
+        assert_eq!(m.failed_count(), 0);
+    }
+}

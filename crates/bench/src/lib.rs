@@ -1,0 +1,284 @@
+//! # mams-bench — harnesses that regenerate every table and figure
+//!
+//! One binary per experiment (see DESIGN.md §3). Shared plumbing lives
+//! here: table formatting, JSON result export, throughput measurement, and
+//! trace inspection helpers.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use mams_cluster::deploy::Deployment;
+use mams_cluster::metrics::Metrics;
+use mams_cluster::workload::Workload;
+use mams_sim::{Duration, NodeId, Sim, SimTime};
+
+/// Print an aligned table to stdout.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Write a JSON result document under `results/`.
+pub fn save_json(name: &str, value: &serde_json::Value) {
+    let dir = PathBuf::from("results");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("{name}.json"));
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            let _ = writeln!(f, "{}", serde_json::to_string_pretty(value).expect("serializable"));
+            println!("(saved {})", path.display());
+        }
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+/// The current active of group 0 according to the recorded view trace.
+pub fn current_active(sim: &Sim) -> Option<NodeId> {
+    for e in sim.trace().events().iter().rev() {
+        if e.tag == "view.set" {
+            if let Some(rest) = e.detail.strip_prefix("g/0/active=") {
+                return rest.parse().ok();
+            }
+        }
+        if e.tag == "view.del" && e.detail == "g/0/active" {
+            return None;
+        }
+    }
+    None
+}
+
+/// Throughput of a workload against an already-built deployment:
+/// `clients` closed-loop clients run for `warmup + measure`; returns mean
+/// ops/s over the measurement window.
+pub fn measure_throughput(
+    sim: &mut Sim,
+    deployment: &mut Deployment,
+    make_workload: impl Fn(u32) -> Workload,
+    clients: u32,
+    warmup: Duration,
+    measure: Duration,
+) -> f64 {
+    let metrics = Metrics::new(false);
+    for c in 0..clients {
+        deployment.add_client(sim, make_workload(c), metrics.clone());
+    }
+    sim.run_for(warmup);
+    let from_sec = (sim.now().micros() / 1_000_000) as usize;
+    sim.run_for(measure);
+    let to_sec = (sim.now().micros() / 1_000_000) as usize;
+    metrics.mean_throughput(from_sec, to_sec)
+}
+
+/// Pre-create `files_per_client` files per client (private dirs), waiting
+/// for completion. Returns the metrics of the setup phase.
+pub fn populate(
+    sim: &mut Sim,
+    deployment: &mut Deployment,
+    clients: u32,
+    files_per_client: u64,
+    budget: Duration,
+) -> Arc<Metrics> {
+    let metrics = Metrics::new(false);
+    for c in 0..clients {
+        deployment.add_client_with(sim, Workload::create_only(c), metrics.clone(), |mut cfg| {
+            // +1 for the setup mkdir.
+            cfg.max_ops = Some(files_per_client + 1);
+            cfg
+        });
+    }
+    let target = clients as u64 * (files_per_client + 1);
+    let deadline = sim.now() + budget;
+    while metrics.ok_count() + metrics.failed_count() < target && sim.now() < deadline {
+        sim.run_for(Duration::from_secs(1));
+    }
+    metrics
+}
+
+/// Standard kill-the-active MTTR probe: returns the measured MTTR in
+/// seconds, if the service recovered.
+pub fn mttr_probe(
+    sim: &mut Sim,
+    metrics: &Metrics,
+    kill_at: SimTime,
+    kill: impl FnOnce(&mut Sim) + Send + 'static,
+    run_until: SimTime,
+) -> Option<f64> {
+    sim.at(kill_at, kill);
+    sim.run_until(run_until);
+    let outages =
+        mams_cluster::mttr::mttr_from_completions(&metrics.completions(), &[kill_at.micros()]);
+    outages.first().map(|o| o.mttr_secs())
+}
+
+/// Reconstruct the global-view state table (the paper's Table II rows) from
+/// the coordination trace: one row per change to any member's state key,
+/// values `A`/`S`/`J`, and `-` while a member's key is absent (dead or
+/// unreachable).
+pub fn reconstruct_states(sim: &Sim, members: &[NodeId]) -> Vec<(f64, Vec<String>)> {
+    use std::collections::HashMap;
+    let mut current: HashMap<NodeId, String> = HashMap::new();
+    let mut rows: Vec<(f64, Vec<String>)> = Vec::new();
+    let snapshot = |current: &HashMap<NodeId, String>| -> Vec<String> {
+        members
+            .iter()
+            .map(|m| current.get(m).cloned().unwrap_or_else(|| "-".to_string()))
+            .collect()
+    };
+    for e in sim.trace().events() {
+        let changed = match e.tag {
+            "view.set" => {
+                if let Some((key, value)) = e.detail.split_once('=') {
+                    if let Some((0, node)) = mams_core::keys::parse_state_key(key) {
+                        current.insert(node, value.to_string());
+                        true
+                    } else {
+                        false
+                    }
+                } else {
+                    false
+                }
+            }
+            "view.del" => {
+                if let Some((0, node)) = mams_core::keys::parse_state_key(&e.detail) {
+                    current.remove(&node);
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        };
+        if changed {
+            let snap = snapshot(&current);
+            if rows.last().map(|(_, s)| s) != Some(&snap) {
+                rows.push((e.time.as_secs_f64(), snap));
+            }
+        }
+    }
+    rows
+}
+
+/// Schedule "make whoever is active at `at` lose the lock" (Test A).
+pub fn expire_current_active_at(sim: &mut Sim, coord: NodeId, at: SimTime) {
+    sim.at(at, move |s| {
+        if let Some(victim) = current_active(s) {
+            s.send_external(coord, mams_coord::CoordReq::ForceExpire { victim });
+        }
+    });
+}
+
+/// Schedule "unplug whoever is active at `at` for `down`" (Test B).
+pub fn unplug_current_active_at(sim: &mut Sim, at: SimTime, down: Duration) {
+    sim.at(at, move |s| {
+        if let Some(victim) = current_active(s) {
+            s.net_mut().isolate(victim);
+            s.after(down, move |s2| s2.net_mut().rejoin(victim));
+        }
+    });
+}
+
+/// Schedule "kill whoever is active at `at`, restart after `down`" (Test C).
+pub fn crash_current_active_at(sim: &mut Sim, at: SimTime, down: Duration) {
+    sim.at(at, move |s| {
+        if let Some(victim) = current_active(s) {
+            s.crash(victim);
+            s.after(down, move |s2| s2.restart(victim));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mams_cluster::deploy::{build, DeploySpec};
+    use mams_cluster::workload::Workload as W;
+    use mams_sim::SimConfig;
+
+    #[test]
+    fn current_active_tracks_the_view_trace() {
+        let mut sim = Sim::new(SimConfig::default());
+        let mut d = build(
+            &mut sim,
+            DeploySpec { groups: 1, standbys_per_group: 2, ..DeploySpec::default() },
+        );
+        let m = Metrics::new(false);
+        d.add_client(&mut sim, W::create_only(0), m);
+        sim.run_for(Duration::from_secs(2));
+        assert_eq!(current_active(&sim), Some(d.initial_active(0)));
+        // After a failover, the helper reports the new active.
+        let old = d.initial_active(0);
+        sim.after(Duration::ZERO, move |s| s.crash(old));
+        sim.run_for(Duration::from_secs(12));
+        let now = current_active(&sim).expect("an active exists");
+        assert_ne!(now, old);
+        assert!(d.groups[0].members.contains(&now));
+    }
+
+    #[test]
+    fn reconstruct_states_yields_letter_rows() {
+        let mut sim = Sim::new(SimConfig::default());
+        let mut d = build(
+            &mut sim,
+            DeploySpec { groups: 1, standbys_per_group: 2, ..DeploySpec::default() },
+        );
+        let m = Metrics::new(false);
+        d.add_client(&mut sim, W::create_only(0), m);
+        sim.run_for(Duration::from_secs(3));
+        let rows = reconstruct_states(&sim, &d.groups[0].members);
+        assert!(!rows.is_empty());
+        let (_, last) = rows.last().unwrap();
+        assert_eq!(last.len(), 3);
+        assert_eq!(last.iter().filter(|s| s.as_str() == "A").count(), 1, "{last:?}");
+        assert_eq!(last.iter().filter(|s| s.as_str() == "S").count(), 2, "{last:?}");
+    }
+
+    #[test]
+    fn print_table_pads_columns() {
+        // Smoke test: no panic on ragged rows.
+        print_table(
+            "t",
+            &["a", "long-header"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+
+    #[test]
+    fn measure_and_populate_helpers_work_together() {
+        let mut sim = Sim::new(SimConfig { trace: false, ..SimConfig::default() });
+        let mut d = build(
+            &mut sim,
+            DeploySpec { groups: 1, standbys_per_group: 1, ..DeploySpec::default() },
+        );
+        let setup = populate(&mut sim, &mut d, 2, 50, Duration::from_secs(60));
+        assert_eq!(setup.ok_count(), 2 * 51, "2 clients × (50 files + setup mkdir)");
+        let tput = measure_throughput(
+            &mut sim,
+            &mut d,
+            |c| Workload::get_info(c, 50),
+            2,
+            Duration::from_secs(1),
+            Duration::from_secs(3),
+        );
+        assert!(tput > 100.0, "read throughput {tput}");
+    }
+}

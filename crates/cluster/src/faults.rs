@@ -1,0 +1,79 @@
+//! Fault injection: the paper's three error classes.
+//!
+//! * **Test A** — "modifying the global view to make the active lose the
+//!   lock": [`schedule_lock_loss`] force-expires the victim's coordination
+//!   session.
+//! * **Test B** — "unplugging and reconnecting network wires":
+//!   [`schedule_unplug`] isolates a node's NIC for a while, then plugs it
+//!   back.
+//! * **Test C** — "shutting down and restarting processes":
+//!   [`schedule_crash`] / [`schedule_restart`] (fresh in-memory state on
+//!   restart, like a real process).
+
+use mams_coord::CoordReq;
+use mams_sim::{Duration, NodeId, Sim, SimTime};
+
+/// Kill a process at `at`.
+pub fn schedule_crash(sim: &mut Sim, node: NodeId, at: SimTime) {
+    sim.at(at, move |s| s.crash(node));
+}
+
+/// Restart a crashed process at `at` (requires `add_restartable`).
+pub fn schedule_restart(sim: &mut Sim, node: NodeId, at: SimTime) {
+    sim.at(at, move |s| s.restart(node));
+}
+
+/// Crash at `at` and restart after `down_for`.
+pub fn schedule_crash_restart(sim: &mut Sim, node: NodeId, at: SimTime, down_for: Duration) {
+    schedule_crash(sim, node, at);
+    schedule_restart(sim, node, at + down_for);
+}
+
+/// Unplug `node`'s network cable at `at`, plug it back after `down_for`.
+pub fn schedule_unplug(sim: &mut Sim, node: NodeId, at: SimTime, down_for: Duration) {
+    sim.at(at, move |s| s.net_mut().isolate(node));
+    sim.at(at + down_for, move |s| s.net_mut().rejoin(node));
+}
+
+/// Force the victim's coordination session to expire at `at` (Test A).
+pub fn schedule_lock_loss(sim: &mut Sim, coord: NodeId, victim: NodeId, at: SimTime) {
+    sim.at(at, move |s| {
+        s.send_external(coord, CoordReq::ForceExpire { victim });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mams_sim::{NodeStatus, SimConfig};
+
+    use mams_sim::{Ctx, Message, Node};
+
+    struct Idle;
+    impl Node for Idle {
+        fn on_message(&mut self, _: &mut Ctx<'_>, _: NodeId, _: Message) {}
+    }
+
+    #[test]
+    fn crash_restart_cycle() {
+        let mut sim = Sim::new(SimConfig::default());
+        let n = sim.add_restartable("n", || Box::new(Idle));
+        schedule_crash_restart(&mut sim, n, SimTime(1_000_000), Duration::from_secs(2));
+        sim.run_until(SimTime(1_500_000));
+        assert_eq!(sim.node_status(n), NodeStatus::Down);
+        sim.run_until(SimTime(3_500_000));
+        assert_eq!(sim.node_status(n), NodeStatus::Up);
+    }
+
+    #[test]
+    fn unplug_cycle() {
+        let mut sim = Sim::new(SimConfig::default());
+        let a = sim.add_node("a", Box::new(Idle));
+        let b = sim.add_node("b", Box::new(Idle));
+        schedule_unplug(&mut sim, a, SimTime(1_000_000), Duration::from_secs(1));
+        sim.run_until(SimTime(1_100_000));
+        assert!(!sim.net_mut().connected(a, b));
+        sim.run_until(SimTime(2_100_000));
+        assert!(sim.net_mut().connected(a, b));
+    }
+}

@@ -1,0 +1,136 @@
+//! Shared measurement sinks written by client nodes and read by harnesses.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mams_sim::SimTime;
+use parking_lot::Mutex;
+
+/// One finished operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Completion time (µs of virtual time).
+    pub at_us: u64,
+    /// Issue time of the *first* attempt (µs) — latency includes retries.
+    pub issued_us: u64,
+    pub ok: bool,
+}
+
+impl Completion {
+    pub fn latency_us(&self) -> u64 {
+        self.at_us.saturating_sub(self.issued_us)
+    }
+}
+
+/// Aggregated client metrics; cheaply cloneable handle.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    ok: AtomicU64,
+    failed: AtomicU64,
+    /// Successful completions per virtual second (index = second).
+    per_second: Mutex<Vec<u64>>,
+    /// Full completion record (enabled for MTTR/CDF experiments; throughput
+    /// runs may leave it off to stay lean).
+    record_completions: bool,
+    completions: Mutex<Vec<Completion>>,
+}
+
+impl Metrics {
+    /// `record_completions` controls whether the full per-op record is kept.
+    pub fn new(record_completions: bool) -> Arc<Self> {
+        Arc::new(Metrics { record_completions, ..Default::default() })
+    }
+
+    pub fn record(&self, issued: SimTime, done: SimTime, ok: bool) {
+        if ok {
+            self.ok.fetch_add(1, Ordering::Relaxed);
+            let sec = done.micros() / 1_000_000;
+            let mut ps = self.per_second.lock();
+            if ps.len() <= sec as usize {
+                ps.resize(sec as usize + 1, 0);
+            }
+            ps[sec as usize] += 1;
+        } else {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        if self.record_completions {
+            self.completions.lock().push(Completion {
+                at_us: done.micros(),
+                issued_us: issued.micros(),
+                ok,
+            });
+        }
+    }
+
+    pub fn ok_count(&self) -> u64 {
+        self.ok.load(Ordering::Relaxed)
+    }
+
+    pub fn failed_count(&self) -> u64 {
+        self.failed.load(Ordering::Relaxed)
+    }
+
+    /// Successful ops per second, second `i` of the run.
+    pub fn per_second(&self) -> Vec<u64> {
+        self.per_second.lock().clone()
+    }
+
+    /// Full completion log (empty unless enabled).
+    pub fn completions(&self) -> Vec<Completion> {
+        self.completions.lock().clone()
+    }
+
+    /// Mean successful throughput over `[from_sec, to_sec)`.
+    pub fn mean_throughput(&self, from_sec: usize, to_sec: usize) -> f64 {
+        let ps = self.per_second.lock();
+        let to = to_sec.min(ps.len());
+        if from_sec >= to {
+            return 0.0;
+        }
+        let sum: u64 = ps[from_sec..to].iter().sum();
+        sum as f64 / (to - from_sec) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime(us)
+    }
+
+    #[test]
+    fn counts_and_buckets() {
+        let m = Metrics::new(false);
+        m.record(t(0), t(500_000), true);
+        m.record(t(0), t(1_200_000), true);
+        m.record(t(0), t(1_300_000), false);
+        assert_eq!(m.ok_count(), 2);
+        assert_eq!(m.failed_count(), 1);
+        assert_eq!(m.per_second(), vec![1, 1]);
+        assert!(m.completions().is_empty(), "recording disabled");
+    }
+
+    #[test]
+    fn completion_log_and_latency() {
+        let m = Metrics::new(true);
+        m.record(t(100), t(400), true);
+        let c = m.completions();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].latency_us(), 300);
+    }
+
+    #[test]
+    fn mean_throughput_window() {
+        let m = Metrics::new(false);
+        for s in 0..10u64 {
+            for _ in 0..5 {
+                m.record(t(0), t(s * 1_000_000 + 1), true);
+            }
+        }
+        assert!((m.mean_throughput(0, 10) - 5.0).abs() < 1e-9);
+        assert_eq!(m.mean_throughput(10, 20), 0.0);
+        assert_eq!(m.mean_throughput(5, 5), 0.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Workload generators for the paper's benchmarks.
+//!
+//! Each client owns a private directory `/cN` so creates never conflict;
+//! structural workloads (`mkdir`, `delete`, `rename`) still cross replica
+//! groups because ownership is decided by hashing the full path.
+
+use mams_core::FsOp;
+use mams_sim::DetRng;
+
+/// An infinite operation stream (plus a finite setup prefix).
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// Continuous `create` of fresh files (Table I / Figure 8 workload).
+    CreateOnly { dir: String, next: u64 },
+    /// `getfileinfo` over files created earlier by the same generator.
+    GetInfo { dir: String, created: u64, cursor: u64 },
+    /// `mkdir` of fresh directories.
+    MkdirOnly { dir: String, next: u64 },
+    /// `delete` of previously created files.
+    DeleteOnly { dir: String, created: u64, cursor: u64 },
+    /// `rename` of previously created files.
+    RenameOnly { dir: String, created: u64, cursor: u64 },
+    /// The Figure 6 mix: create / getfileinfo / mkdir, equally weighted.
+    Mixed { dir: String, files: u64, dirs: u64 },
+    /// Figure 8's continuous create + regular mkdir blend.
+    CreateMkdir { dir: String, next: u64 },
+    /// A fixed script (tests).
+    Script { ops: Vec<FsOp>, cursor: usize },
+}
+
+impl Workload {
+    pub fn create_only(client: u32) -> Self {
+        Workload::CreateOnly { dir: format!("/c{client}"), next: 0 }
+    }
+
+    pub fn get_info(client: u32, created: u64) -> Self {
+        Workload::GetInfo { dir: format!("/c{client}"), created, cursor: 0 }
+    }
+
+    pub fn mkdir_only(client: u32) -> Self {
+        Workload::MkdirOnly { dir: format!("/c{client}"), next: 0 }
+    }
+
+    pub fn delete_only(client: u32, created: u64) -> Self {
+        Workload::DeleteOnly { dir: format!("/c{client}"), created, cursor: 0 }
+    }
+
+    pub fn rename_only(client: u32, created: u64) -> Self {
+        Workload::RenameOnly { dir: format!("/c{client}"), created, cursor: 0 }
+    }
+
+    pub fn mixed(client: u32) -> Self {
+        Workload::Mixed { dir: format!("/c{client}"), files: 0, dirs: 0 }
+    }
+
+    pub fn create_mkdir(client: u32) -> Self {
+        Workload::CreateMkdir { dir: format!("/c{client}"), next: 0 }
+    }
+
+    pub fn script(ops: Vec<FsOp>) -> Self {
+        Workload::Script { ops, cursor: 0 }
+    }
+
+    /// The client's private root that must exist before the stream starts.
+    pub fn setup_dir(&self) -> Option<String> {
+        match self {
+            Workload::CreateOnly { dir, .. }
+            | Workload::GetInfo { dir, .. }
+            | Workload::MkdirOnly { dir, .. }
+            | Workload::DeleteOnly { dir, .. }
+            | Workload::RenameOnly { dir, .. }
+            | Workload::Mixed { dir, .. }
+            | Workload::CreateMkdir { dir, .. } => Some(dir.clone()),
+            Workload::Script { .. } => None,
+        }
+    }
+
+    /// Produce the next operation, or `None` when the stream is exhausted
+    /// (only `Script` and the consuming workloads end).
+    pub fn next_op(&mut self, rng: &mut DetRng) -> Option<FsOp> {
+        match self {
+            Workload::CreateOnly { dir, next } => {
+                let p = format!("{dir}/f{next}");
+                *next += 1;
+                Some(FsOp::Create { path: p, replication: 3 })
+            }
+            Workload::GetInfo { dir, created, cursor } => {
+                if *created == 0 {
+                    return Some(FsOp::GetFileInfo { path: dir.clone() });
+                }
+                let i = *cursor % *created;
+                *cursor += 1;
+                Some(FsOp::GetFileInfo { path: format!("{dir}/f{i}") })
+            }
+            Workload::MkdirOnly { dir, next } => {
+                let p = format!("{dir}/d{next}");
+                *next += 1;
+                Some(FsOp::Mkdir { path: p })
+            }
+            Workload::DeleteOnly { dir, created, cursor } => {
+                if *cursor >= *created {
+                    return None;
+                }
+                let p = format!("{dir}/f{}", *cursor);
+                *cursor += 1;
+                Some(FsOp::Delete { path: p, recursive: false })
+            }
+            Workload::RenameOnly { dir, created, cursor } => {
+                if *cursor >= *created {
+                    return None;
+                }
+                let i = *cursor;
+                *cursor += 1;
+                Some(FsOp::Rename { src: format!("{dir}/f{i}"), dst: format!("{dir}/r{i}") })
+            }
+            Workload::Mixed { dir, files, dirs } => {
+                match rng.below(3) {
+                    0 => {
+                        let p = format!("{dir}/f{files}");
+                        *files += 1;
+                        Some(FsOp::Create { path: p, replication: 3 })
+                    }
+                    1 => {
+                        if *files == 0 {
+                            Some(FsOp::GetFileInfo { path: dir.clone() })
+                        } else {
+                            let i = rng.below(*files);
+                            Some(FsOp::GetFileInfo { path: format!("{dir}/f{i}") })
+                        }
+                    }
+                    _ => {
+                        let p = format!("{dir}/d{dirs}");
+                        *dirs += 1;
+                        Some(FsOp::Mkdir { path: p })
+                    }
+                }
+            }
+            Workload::CreateMkdir { dir, next } => {
+                let i = *next;
+                *next += 1;
+                // "continuous create and regular mkdir operations": one
+                // mkdir every 16 ops spreads files over directories.
+                if i % 16 == 0 {
+                    Some(FsOp::Mkdir { path: format!("{dir}/d{}", i / 16) })
+                } else {
+                    Some(FsOp::Create { path: format!("{dir}/d{}/f{i}", i / 16), replication: 3 })
+                }
+            }
+            Workload::Script { ops, cursor } => {
+                if *cursor >= ops.len() {
+                    None
+                } else {
+                    let op = ops[*cursor].clone();
+                    *cursor += 1;
+                    Some(op)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DetRng {
+        DetRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn create_only_is_fresh_paths() {
+        let mut w = Workload::create_only(3);
+        let mut r = rng();
+        let a = w.next_op(&mut r).unwrap();
+        let b = w.next_op(&mut r).unwrap();
+        assert_ne!(a, b);
+        assert!(matches!(a, FsOp::Create { ref path, .. } if path == "/c3/f0"));
+        assert_eq!(w.setup_dir().as_deref(), Some("/c3"));
+    }
+
+    #[test]
+    fn delete_consumes_created_set() {
+        let mut w = Workload::delete_only(0, 2);
+        let mut r = rng();
+        assert!(w.next_op(&mut r).is_some());
+        assert!(w.next_op(&mut r).is_some());
+        assert!(w.next_op(&mut r).is_none());
+    }
+
+    #[test]
+    fn mixed_emits_all_three_kinds() {
+        let mut w = Workload::mixed(0);
+        let mut r = rng();
+        let mut kinds = [false; 3];
+        for _ in 0..100 {
+            match w.next_op(&mut r).unwrap() {
+                FsOp::Create { .. } => kinds[0] = true,
+                FsOp::GetFileInfo { .. } => kinds[1] = true,
+                FsOp::Mkdir { .. } => kinds[2] = true,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(kinds, [true; 3]);
+    }
+
+    #[test]
+    fn create_mkdir_makes_dirs_before_files() {
+        let mut w = Workload::create_mkdir(0);
+        let mut r = rng();
+        let first = w.next_op(&mut r).unwrap();
+        assert!(matches!(first, FsOp::Mkdir { .. }), "dir must precede its files");
+        for _ in 0..15 {
+            assert!(matches!(w.next_op(&mut r).unwrap(), FsOp::Create { .. }));
+        }
+        assert!(matches!(w.next_op(&mut r).unwrap(), FsOp::Mkdir { .. }));
+    }
+
+    #[test]
+    fn script_ends() {
+        let mut w = Workload::script(vec![FsOp::Mkdir { path: "/x".into() }]);
+        let mut r = rng();
+        assert!(w.next_op(&mut r).is_some());
+        assert!(w.next_op(&mut r).is_none());
+    }
+}

@@ -1,0 +1,552 @@
+//! Active-role behaviour: serving client operations, journal batching and
+//! synchronization, distributed transactions, checkpoints.
+
+use mams_journal::{JournalBatch, ReplayCursor, Sn, Txn};
+use mams_sim::{Ctx, NodeId};
+use mams_storage::pool::PoolError;
+use mams_storage::proto::{PoolReq, PoolResp};
+
+use crate::proto::{FsOp, GroupMsg, MdsReq, MdsResp, OpOutput};
+use crate::server::{Inflight, MdsServer, PendingOp, PoolCtx, ReplyTo, Role, XgOutstanding};
+
+impl MdsServer {
+    // ------------------------------------------------------------- clients
+
+    pub(crate) fn on_client_req(&mut self, ctx: &mut Ctx<'_>, from: NodeId, req: MdsReq) {
+        // Block reports go to every member regardless of role — that is
+        // what keeps standbys hot on file locations.
+        if let MdsReq::BlockReport { server, blocks } = &req {
+            self.blocks.report(*server, blocks);
+            return;
+        }
+        match self.role {
+            Role::Active => {}
+            Role::Upgrading => {
+                // Step 3 of the switch: accept and buffer, commit later.
+                self.buffered.push((from, req));
+                return;
+            }
+            _ => {
+                if let MdsReq::Op { seq, .. } = req {
+                    ctx.send(from, MdsResp::NotActive { seq });
+                }
+                return;
+            }
+        }
+        match req {
+            MdsReq::Checkpoint => self.start_checkpoint(ctx),
+            MdsReq::Op { op, seq } => {
+                // Admission control: the op executes at the next drain,
+                // modeling server CPU capacity.
+                self.ingress.push(from, op, seq);
+            }
+            MdsReq::BlockReport { .. } => unreachable!("handled above"),
+        }
+    }
+
+    pub(crate) fn serve_op(&mut self, ctx: &mut Ctx<'_>, from: NodeId, op: FsOp, seq: u64) {
+        // Duplicate handling: a retried request (same seq) is answered from
+        // the cache, never re-executed.
+        if let Some(cached) = self.retry_cache.check(from, seq) {
+            ctx.send(from, cached);
+            return;
+        }
+        if !op.is_mutation() {
+            let result = self.exec_read(&op);
+            let resp = MdsResp::Reply { seq, result };
+            self.retry_cache.store(from, seq, resp.clone());
+            ctx.send(from, resp);
+            return;
+        }
+        self.enqueue_mutation(ctx, op, ReplyTo::Client { node: from, seq });
+    }
+
+    fn exec_read(&self, op: &FsOp) -> Result<OpOutput, String> {
+        match op {
+            FsOp::GetFileInfo { path } => {
+                self.ns.getfileinfo(path).map(OpOutput::Info).map_err(|e| e.to_string())
+            }
+            FsOp::List { path } => {
+                self.ns.list(path).map(OpOutput::Listing).map_err(|e| e.to_string())
+            }
+            _ => unreachable!("exec_read on a mutation"),
+        }
+    }
+
+    /// Validate + apply a mutation against our namespace, producing the
+    /// journal record. Errors are replied immediately and never journaled.
+    fn exec_mutation(&mut self, op: &FsOp) -> Result<(Txn, OpOutput), String> {
+        match op {
+            FsOp::Create { path, replication } => self
+                .ns
+                .create(path, *replication)
+                .map(|info| {
+                    (Txn::Create { path: path.clone(), replication: *replication }, OpOutput::Info(info))
+                })
+                .map_err(|e| e.to_string()),
+            FsOp::Mkdir { path } => self
+                .ns
+                .mkdir(path)
+                .map(|()| (Txn::Mkdir { path: path.clone() }, OpOutput::Done))
+                .map_err(|e| e.to_string()),
+            FsOp::Delete { path, recursive } => self
+                .ns
+                .delete(path, *recursive)
+                .map(|_| (Txn::Delete { path: path.clone(), recursive: *recursive }, OpOutput::Done))
+                .map_err(|e| e.to_string()),
+            FsOp::Rename { src, dst } => self
+                .ns
+                .rename(src, dst)
+                .map(|()| (Txn::Rename { src: src.clone(), dst: dst.clone() }, OpOutput::Done))
+                .map_err(|e| e.to_string()),
+            FsOp::AddBlock { path, len } => {
+                let block_id = self.next_block_id;
+                self.ns
+                    .add_block(path, block_id)
+                    .map(|()| {
+                        self.next_block_id += 1;
+                        self.blocks.register(block_id, *len);
+                        (
+                            Txn::AddBlock { path: path.clone(), block_id, len: *len },
+                            OpOutput::Block(block_id),
+                        )
+                    })
+                    .map_err(|e| e.to_string())
+            }
+            FsOp::CloseFile { path } => self
+                .ns
+                .close_file(path)
+                .map(|()| (Txn::CloseFile { path: path.clone() }, OpOutput::Done))
+                .map_err(|e| e.to_string()),
+            FsOp::SetPerm { path, perm } => self
+                .ns
+                .set_perm(path, *perm)
+                .map(|()| (Txn::SetPerm { path: path.clone(), perm: *perm }, OpOutput::Done))
+                .map_err(|e| e.to_string()),
+            FsOp::GetFileInfo { .. } | FsOp::List { .. } => {
+                unreachable!("exec_mutation on a read")
+            }
+        }
+    }
+
+    pub(crate) fn enqueue_mutation(&mut self, ctx: &mut Ctx<'_>, op: FsOp, reply: ReplyTo) {
+        match self.exec_mutation(&op) {
+            Err(e) => self.reply_now(ctx, reply, Err(e)),
+            Ok((txn, output)) => {
+                // Distributed-transaction fan-out: structural operations in
+                // a multi-group deployment must also run on every other
+                // group's active (their directory skeletons stay in
+                // lock-step). Only client-originated ops coordinate; a leg
+                // never fans out again.
+                let mut xid = None;
+                if txn.is_structural()
+                    && self.cfg.partitioner.groups() > 1
+                    && matches!(reply, ReplyTo::Client { .. })
+                {
+                    let id = (self.cfg.group, self.next_xid);
+                    self.next_xid += 1;
+                    let mut groups = std::collections::HashSet::new();
+                    for g in 0..self.cfg.partitioner.groups() {
+                        if g == self.cfg.group {
+                            continue;
+                        }
+                        groups.insert(g);
+                        if let Some(act) = self.active_of_group(g) {
+                            ctx.send(act, GroupMsg::XGroupApply { xid: id, txn: txn.clone() });
+                        }
+                        // Groups without a known active are retried by the
+                        // T_XG_RETRY timer until they recover.
+                    }
+                    if !groups.is_empty() {
+                        self.xg_outstanding.insert(id, XgOutstanding { txn: txn.clone(), groups });
+                        xid = Some(id);
+                    }
+                }
+                self.pending.push(PendingOp { txn, reply, output, xid });
+                if self.pending.len() >= self.cfg.timing.batch_max_ops {
+                    self.flush_batch(ctx);
+                }
+            }
+        }
+    }
+
+    fn reply_now(&mut self, ctx: &mut Ctx<'_>, reply: ReplyTo, result: Result<OpOutput, String>) {
+        match reply {
+            ReplyTo::Client { node, seq } => {
+                let resp = MdsResp::Reply { seq, result };
+                self.retry_cache.store(node, seq, resp.clone());
+                ctx.send(node, resp);
+            }
+            ReplyTo::XGroup { coordinator, xid } => {
+                let group = self.cfg.group;
+                ctx.send(coordinator, GroupMsg::XGroupAck { xid, group, ok: result.is_ok() });
+            }
+        }
+    }
+
+    // --------------------------------------------------------------- flush
+
+    /// Seal the pending mutations into a `⟨sn, txid⟩` batch, append it to
+    /// the SSP, and synchronize it to the standbys. Replies are released
+    /// when the SSP and every current standby have acknowledged.
+    pub(crate) fn flush_batch(&mut self, ctx: &mut Ctx<'_>) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let ops = std::mem::take(&mut self.pending);
+        let first_txid = self.next_txid;
+        let records: Vec<Txn> = ops.iter().map(|o| o.txn.clone()).collect();
+        let sn = self.log.tail_sn() + 1;
+        let batch = JournalBatch::new(sn, first_txid, records);
+        self.next_txid = batch.last_txid() + 1;
+        self.log.append(batch.clone()).expect("own batch is contiguous");
+        self.cursor = ReplayCursor::at(sn);
+
+        let mut inflight = Inflight {
+            waiting_pool: true,
+            waiting_members: self.standbys.clone(),
+            ..Default::default()
+        };
+        for op in ops {
+            if let Some(xid) = op.xid {
+                // The legs may have settled already (fast acks); only wait
+                // on xids still outstanding.
+                if self.xg_outstanding.contains_key(&xid) {
+                    inflight.waiting_xg.insert(xid);
+                    self.xg_to_sn.insert(xid, sn);
+                }
+            }
+            match &op.reply {
+                ReplyTo::XGroup { .. } => inflight.xg_replies.push((op.reply, Ok(op.output))),
+                ReplyTo::Client { .. } => {
+                    inflight.client_replies.push((op.reply, Ok(op.output)))
+                }
+            }
+        }
+        self.inflight.insert(sn, inflight);
+
+        let epoch = self.epoch;
+        let group = self.cfg.group;
+        for s in self.standbys.clone() {
+            ctx.send(s, GroupMsg::SyncJournal { epoch, batch: batch.clone() });
+        }
+        self.pool_send(
+            ctx,
+            move |req| PoolReq::AppendJournal { group, epoch, batch, req },
+            PoolCtx::AppendAck { sn },
+        );
+    }
+
+    /// Release replies: leg acks as soon as their batch is durable (any
+    /// order), client replies when fully complete, in sn order.
+    pub(crate) fn try_complete(&mut self, ctx: &mut Ctx<'_>) {
+        let mut leg_acks = Vec::new();
+        for inf in self.inflight.values_mut() {
+            if inf.durable() && !inf.xg_acked {
+                inf.xg_acked = true;
+                leg_acks.append(&mut inf.xg_replies);
+            }
+        }
+        for (reply, result) in leg_acks {
+            self.reply_now(ctx, reply, result);
+        }
+        while let Some((&sn, inf)) = self.inflight.iter().next() {
+            if !inf.complete() {
+                break;
+            }
+            let inf = self.inflight.remove(&sn).expect("present");
+            for (reply, result) in inf.client_replies.into_iter().chain(inf.xg_replies) {
+                self.reply_now(ctx, reply, result);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- members
+
+    pub(crate) fn on_group_msg(&mut self, ctx: &mut Ctx<'_>, from: NodeId, gm: GroupMsg) {
+        match gm {
+            GroupMsg::SyncJournal { epoch, batch } => self.on_sync_journal(ctx, from, epoch, batch),
+            GroupMsg::SyncAck { sn } => self.on_sync_ack(ctx, from, sn),
+            GroupMsg::Register { sn } => self.on_register(ctx, from, sn),
+            GroupMsg::RegisterAck { as_standby, epoch, tail_sn } => {
+                self.on_register_ack(ctx, from, as_standby, epoch, tail_sn)
+            }
+            GroupMsg::RenewStart { tip_sn } => self.on_renew_start(ctx, from, tip_sn),
+            GroupMsg::RenewProgress { sn } => self.on_renew_progress(ctx, from, sn),
+            GroupMsg::RenewJournal { epoch, batches } => {
+                self.on_renew_journal(ctx, from, epoch, batches)
+            }
+            GroupMsg::XGroupApply { xid, txn } => self.on_xgroup_apply(ctx, from, xid, txn),
+            GroupMsg::XGroupAck { xid, group, ok } => self.on_xgroup_ack(ctx, xid, group, ok),
+        }
+    }
+
+    /// Member side of journal synchronization. "The standby only receives
+    /// and responds for journals which come from the active server" — and
+    /// only at the current epoch, so a deposed active's flushes are inert.
+    fn on_sync_journal(&mut self, ctx: &mut Ctx<'_>, from: NodeId, epoch: u64, batch: JournalBatch) {
+        if epoch < self.group_epoch {
+            return; // obsolete data from a deposed active (see Fig. 4a)
+        }
+        self.group_epoch = epoch;
+        if matches!(self.role, Role::Active | Role::Upgrading) {
+            // We hold (or are taking) the lock; a sync from elsewhere at an
+            // equal-or-higher epoch would mean we lost it — failover.rs
+            // handles that through the view. Ignore here.
+            return;
+        }
+        self.active_hint = Some(from);
+        self.ingest_batch(batch);
+        ctx.send(from, GroupMsg::SyncAck { sn: self.cursor.max_sn() });
+        if !self.stash.is_empty() {
+            // A batch was lost on the wire: fetch the missing range from
+            // the shared pool rather than stalling the active's commits.
+            self.arm_gap_repair(ctx);
+        }
+    }
+
+    /// Arm the lost-sync repair timer (idempotent).
+    pub(crate) fn arm_gap_repair(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.gap_repair_armed {
+            self.gap_repair_armed = true;
+            ctx.set_timer(
+                self.cfg.timing.register_retry.mul_f64(0.4),
+                crate::server::T_GAP_REPAIR,
+            );
+        }
+    }
+
+    /// The gap-repair timer fired: if the stash still has a hole, read the
+    /// missing batches from the pool; in any case refresh our cumulative
+    /// ack so a lost `SyncAck` cannot stall the active either.
+    pub(crate) fn gap_repair_fired(&mut self, ctx: &mut Ctx<'_>) {
+        self.gap_repair_armed = false;
+        if !matches!(self.role, Role::Standby | Role::Junior) {
+            return;
+        }
+        if let Some(active) = self.active_hint {
+            if active != ctx.id() {
+                ctx.send(active, GroupMsg::SyncAck { sn: self.cursor.max_sn() });
+            }
+        }
+        if !self.stash.is_empty() {
+            let group = self.cfg.group;
+            let after = self.cursor.max_sn();
+            let max = self.cfg.timing.catchup_page;
+            self.pool_send(
+                ctx,
+                move |req| PoolReq::ReadJournal { group, after_sn: after, max, req },
+                PoolCtx::GapRepair,
+            );
+        }
+    }
+
+    /// Active side: a member acknowledged everything up to `sn`.
+    fn on_sync_ack(&mut self, ctx: &mut Ctx<'_>, from: NodeId, sn: Sn) {
+        self.member_sns.insert(from, sn);
+        for (&bsn, inf) in self.inflight.iter_mut() {
+            if bsn <= sn {
+                inf.waiting_members.remove(&from);
+            }
+        }
+        self.try_complete(ctx);
+        self.renew_check_promotion(ctx, from, sn);
+    }
+
+    // ------------------------------------------------- distributed txns
+
+    /// Participant: admit a structural transaction leg from another group's
+    /// active. Legs go through the same ingress queue as client operations:
+    /// synchronizing the directory skeleton consumes real capacity on every
+    /// group, which is why the paper's distributed transactions do not
+    /// scale with the number of actives.
+    fn on_xgroup_apply(&mut self, ctx: &mut Ctx<'_>, from: NodeId, xid: (u32, u64), txn: Txn) {
+        if self.role != Role::Active {
+            return; // coordinator's client retries after our group recovers
+        }
+        if self.xg_seen.contains(&xid) {
+            // Already applied (the ack may have been lost): re-ack.
+            ctx.send(from, GroupMsg::XGroupAck { xid, group: self.cfg.group, ok: true });
+            return;
+        }
+        self.xg_seen.insert(xid);
+        let op = match txn {
+            Txn::Mkdir { path } => FsOp::Mkdir { path },
+            Txn::Delete { path, recursive } => FsOp::Delete { path, recursive },
+            Txn::Rename { src, dst } => FsOp::Rename { src, dst },
+            other => {
+                debug_assert!(false, "non-structural xgroup txn {other:?}");
+                return;
+            }
+        };
+        self.ingress.push_item(crate::ingress::IngressItem::Leg { coordinator: from, xid, op });
+    }
+
+    /// Execute an admitted distributed-transaction leg.
+    pub(crate) fn serve_leg(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        coordinator: NodeId,
+        xid: (u32, u64),
+        op: FsOp,
+    ) {
+        if self.role != Role::Active {
+            return;
+        }
+        self.enqueue_mutation(ctx, op, ReplyTo::XGroup { coordinator, xid });
+    }
+
+    /// Coordinator: a leg completed.
+    fn on_xgroup_ack(&mut self, ctx: &mut Ctx<'_>, xid: (u32, u64), group: u32, ok: bool) {
+        if !ok {
+            // A rejected leg (e.g. the skeleton already had the entry from a
+            // previous coordinator's half-finished transaction) still counts
+            // as settled: the directory skeleton is consistent either way.
+            ctx.trace("xg.leg_failed", || format!("xid {xid:?} group {group}"));
+        }
+        let done = match self.xg_outstanding.get_mut(&xid) {
+            Some(o) => {
+                o.groups.remove(&group);
+                o.groups.is_empty()
+            }
+            None => return,
+        };
+        if done {
+            self.xg_outstanding.remove(&xid);
+            if let Some(sn) = self.xg_to_sn.remove(&xid) {
+                if let Some(inf) = self.inflight.get_mut(&sn) {
+                    inf.waiting_xg.remove(&xid);
+                }
+                self.try_complete(ctx);
+            }
+        }
+    }
+
+    /// Retransmit SSP appends whose acknowledgement has not arrived (the
+    /// pool deduplicates by sn, so this is safe under any message loss).
+    /// Also re-push the current batch to standbys that have not caught up —
+    /// cumulative acks make the refresh idempotent.
+    pub(crate) fn retry_pool_appends(&mut self, ctx: &mut Ctx<'_>) {
+        let epoch = self.epoch;
+        let group = self.cfg.group;
+        let stuck: Vec<mams_journal::Sn> = self
+            .inflight
+            .iter()
+            .filter(|(_, inf)| inf.waiting_pool)
+            .map(|(&sn, _)| sn)
+            .collect();
+        for sn in stuck {
+            if let Some(batch) = self.log.get(sn).cloned() {
+                self.pool_send(
+                    ctx,
+                    move |req| PoolReq::AppendJournal { group, epoch, batch, req },
+                    PoolCtx::AppendAck { sn },
+                );
+            }
+        }
+        // Standbys behind the oldest incomplete batch get that range again.
+        let lagging: Vec<(NodeId, mams_journal::Sn)> = self
+            .standbys
+            .iter()
+            .filter_map(|&m| {
+                let acked = self.member_sns.get(&m).copied().unwrap_or(0);
+                (acked < self.log.tail_sn()).then_some((m, acked))
+            })
+            .collect();
+        for (member, acked) in lagging {
+            if let Some(batches) = self.log.read_after(acked) {
+                for b in batches.iter().take(4).cloned().collect::<Vec<_>>() {
+                    ctx.send(member, GroupMsg::SyncJournal { epoch, batch: b });
+                }
+            }
+        }
+    }
+
+    /// Resend unacked distributed-transaction legs to the current actives
+    /// of their groups.
+    pub(crate) fn retry_xg_legs(&mut self, ctx: &mut Ctx<'_>) {
+        let resend: Vec<(NodeId, (u32, u64), mams_journal::Txn)> = self
+            .xg_outstanding
+            .iter()
+            .flat_map(|(&xid, o)| {
+                o.groups
+                    .iter()
+                    .filter_map(|&g| self.active_of_group(g).map(|a| (a, xid, o.txn.clone())))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for (act, xid, txn) in resend {
+            ctx.send(act, GroupMsg::XGroupApply { xid, txn });
+        }
+    }
+
+    // ---------------------------------------------------------- checkpoint
+
+    /// Write a namespace image to the SSP (compacts the shared journal).
+    pub(crate) fn start_checkpoint(&mut self, ctx: &mut Ctx<'_>) {
+        let image = mams_namespace::encode_image(&self.ns, self.cursor.max_sn());
+        let group = self.cfg.group;
+        let epoch = self.epoch;
+        ctx.trace("checkpoint.start", || {
+            format!("sn {} size {} B", image.checkpoint_sn, image.size_bytes())
+        });
+        self.pool_send(
+            ctx,
+            move |req| PoolReq::WriteImage { group, epoch, image, req },
+            PoolCtx::CheckpointWrite,
+        );
+    }
+
+    // ------------------------------------------------------ pool responses
+
+    pub(crate) fn on_pool_resp(&mut self, ctx: &mut Ctx<'_>, resp: PoolResp) {
+        let why = match self.pool_pending.remove(&resp.req_id()) {
+            Some(w) => w,
+            None => return,
+        };
+        match why {
+            PoolCtx::AppendAck { sn } => match resp {
+                PoolResp::AppendOk { .. } => {
+                    if let Some(inf) = self.inflight.get_mut(&sn) {
+                        inf.waiting_pool = false;
+                    }
+                    self.try_complete(ctx);
+                }
+                PoolResp::Failed { error: PoolError::Fenced { .. }, .. } => {
+                    // We have been deposed: IO fencing in action.
+                    ctx.trace("fencing.append_refused", || format!("sn {sn}"));
+                    self.degrade_to_junior(ctx, "fenced by pool");
+                }
+                other => {
+                    ctx.trace("pool.append_error", || format!("{other:?}"));
+                }
+            },
+            PoolCtx::CheckpointWrite => {
+                if let PoolResp::ImageWritten { checkpoint_sn, .. } = resp {
+                    self.log.compact_through(checkpoint_sn);
+                    ctx.trace("checkpoint.done", || format!("sn {checkpoint_sn}"));
+                }
+            }
+            PoolCtx::GapRepair => {
+                if let PoolResp::Journal { batches, .. } = resp {
+                    for b in batches {
+                        self.ingest_batch(b);
+                    }
+                    if let Some(active) = self.active_hint {
+                        if active != ctx.id() {
+                            ctx.send(active, GroupMsg::SyncAck { sn: self.cursor.max_sn() });
+                        }
+                    }
+                    if !self.stash.is_empty() {
+                        self.arm_gap_repair(ctx);
+                    }
+                }
+            }
+            PoolCtx::EpochAdvance => self.on_epoch_advanced(ctx, resp),
+            PoolCtx::UpgradeTail => self.on_upgrade_tail(ctx, resp),
+            PoolCtx::ImageMeta { for_upgrade } => self.on_image_meta(ctx, resp, for_upgrade),
+            PoolCtx::ImageChunk { for_upgrade } => self.on_image_chunk(ctx, resp, for_upgrade),
+            PoolCtx::CatchupPage { for_upgrade } => self.on_catchup_page(ctx, resp, for_upgrade),
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! MDS configuration.
+
+use mams_namespace::Partitioner;
+use mams_sim::{Duration, NodeId};
+
+/// Role a member boots into before the first view round-trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitialRole {
+    /// Race for the lock at startup (the deployment's designated active).
+    Active,
+    /// Hot backup from the start (empty namespace = trivially in sync).
+    Standby,
+    /// Out-of-sync backup: must be renewed before it can cover failures
+    /// (a freshly added backup node).
+    Junior,
+}
+
+/// Protocol timing and sizing knobs. Defaults follow the paper's setup
+/// (Section IV): ZooKeeper heartbeat 2 s, session timeout 5 s; journal
+/// batches aggregated and flushed asynchronously.
+#[derive(Debug, Clone, Copy)]
+pub struct MdsTiming {
+    /// Journal batch flush cadence.
+    pub flush_interval: Duration,
+    /// Flush as soon as this many mutations are pending.
+    pub batch_max_ops: usize,
+    /// Coordination heartbeat interval.
+    pub heartbeat: Duration,
+    /// Active-side scan for juniors needing renewal.
+    pub renew_scan: Duration,
+    /// Maximum random election delay (Algorithm 1's bid is mapped onto a
+    /// delay so the largest bid attempts the lock first).
+    pub election_spread: Duration,
+    /// Registration retry cadence after a view change.
+    pub register_retry: Duration,
+    /// Journal-sn gap at or below which the renewing protocol enters its
+    /// final synchronization stage.
+    pub renew_final_gap: u64,
+    /// Journal-sn gap above which a junior loads the image instead of
+    /// replaying the journal record-by-record.
+    pub renew_image_gap: u64,
+    /// Image transfer chunk size (bytes).
+    pub image_chunk: u64,
+    /// Batches per journal catch-up page.
+    pub catchup_page: usize,
+    /// Per-operation CPU costs (server capacity model).
+    pub cpu: crate::ingress::CpuModel,
+    /// Automatic image-checkpoint cadence for the active (`None` = only on
+    /// explicit `MdsReq::Checkpoint`). Checkpoints compact the shared
+    /// journal and bound junior recovery time.
+    pub checkpoint_interval: Option<Duration>,
+    /// Extra per-mutation CPU for each hot standby the active synchronizes
+    /// (serialization + send per replica). This is what produces the
+    /// paper's few-percent throughput decline per added standby (Fig. 5).
+    pub sync_cpu_per_standby: Duration,
+}
+
+impl Default for MdsTiming {
+    fn default() -> Self {
+        MdsTiming {
+            flush_interval: Duration::from_millis(2),
+            batch_max_ops: 64,
+            heartbeat: Duration::from_secs(2),
+            renew_scan: Duration::from_secs(1),
+            election_spread: Duration::from_millis(50),
+            register_retry: Duration::from_millis(250),
+            renew_final_gap: 8,
+            renew_image_gap: 512,
+            image_chunk: 4 * 1024 * 1024,
+            catchup_page: 64,
+            cpu: crate::ingress::CpuModel::default(),
+            checkpoint_interval: None,
+            sync_cpu_per_standby: Duration::from_micros(5),
+        }
+    }
+}
+
+/// Static configuration of one replica-group member.
+#[derive(Debug, Clone)]
+pub struct MdsConfig {
+    /// This member's replica group.
+    pub group: u32,
+    /// All members of this replica group (including this node).
+    pub members: Vec<NodeId>,
+    /// The coordination server.
+    pub coord: NodeId,
+    /// Shared-storage-pool nodes (requests round-robin across them).
+    pub pool: Vec<NodeId>,
+    /// Namespace partitioning across all groups in the deployment.
+    pub partitioner: Partitioner,
+    /// Boot role.
+    pub initial_role: InitialRole,
+    pub timing: MdsTiming,
+}
+
+impl MdsConfig {
+    /// Minimal config for a single-group deployment.
+    pub fn single_group(
+        members: Vec<NodeId>,
+        coord: NodeId,
+        pool: Vec<NodeId>,
+        initial_role: InitialRole,
+    ) -> Self {
+        MdsConfig {
+            group: 0,
+            members,
+            coord,
+            pool,
+            partitioner: Partitioner::new(1),
+            initial_role,
+            timing: MdsTiming::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let t = MdsTiming::default();
+        assert_eq!(t.heartbeat, Duration::from_secs(2));
+        assert!(t.flush_interval < Duration::from_millis(10));
+        assert!(t.renew_final_gap < t.renew_image_gap);
+    }
+
+    #[test]
+    fn single_group_builder() {
+        let c = MdsConfig::single_group(vec![1, 2, 3], 0, vec![4], InitialRole::Standby);
+        assert_eq!(c.group, 0);
+        assert_eq!(c.partitioner.groups(), 1);
+        assert_eq!(c.initial_role, InitialRole::Standby);
+    }
+}

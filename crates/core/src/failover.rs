@@ -1,0 +1,556 @@
+//! The failover protocol: failure detection through the global view,
+//! Algorithm 1 active election, the six-step active-standby switch, and
+//! degradation paths.
+//!
+//! View-key ownership: every member writes only its *own* ephemeral state
+//! key and (when it wins the lock) the group's `active` pointer. A deposed
+//! active degrades itself when it observes the new active (or is fenced by
+//! the pool); a dead member's keys vanish with its session. This keeps the
+//! ephemeral-ownership semantics of ZooKeeper while producing exactly the
+//! state sequences of the paper's Table II.
+
+use mams_coord::{CoordEvent, CoordResp, KeyOp};
+use mams_sim::{Ctx, NodeId};
+use mams_storage::proto::{PoolReq, PoolResp};
+
+use crate::config::InitialRole;
+use crate::proto::GroupMsg;
+use crate::server::{ElectStage, ElectState, MdsServer, PoolCtx, Role, T_ELECT, T_UPGRADE_RETRY};
+use crate::view::keys;
+
+impl MdsServer {
+    fn bid_key(&self, node: NodeId) -> String {
+        format!("g/{}/bid/{}", self.cfg.group, node)
+    }
+
+    fn bid_prefix(&self) -> String {
+        format!("g/{}/bid/", self.cfg.group)
+    }
+
+    /// Publish our current role letter in the view (self-owned ephemeral).
+    pub(crate) fn announce_state(&mut self, ctx: &mut Ctx<'_>) {
+        let me = ctx.id();
+        let key = keys::state(self.cfg.group, me);
+        self.coord.set(ctx, key, self.role.letter(), true);
+    }
+
+    // -------------------------------------------------- coord responses
+
+    pub(crate) fn on_coord_resp(&mut self, ctx: &mut Ctx<'_>, resp: CoordResp) {
+        match resp {
+            CoordResp::Registered => {
+                self.announce_state(ctx);
+                // Re-learn the view (we may have been partitioned and
+                // missed events).
+                self.coord.list(ctx, keys::all_groups());
+                if self.cfg.initial_role == InitialRole::Active && !self.boot_lock_tried {
+                    self.boot_lock_tried = true;
+                    self.coord.acquire_lock(ctx, keys::lock(self.cfg.group));
+                }
+            }
+            CoordResp::NoSession => {
+                // Our session lapsed (e.g. we were unplugged). Re-open it;
+                // the refreshed view listing will tell us if we were
+                // deposed, and registration will re-qualify our state.
+                self.registered = false;
+                self.coord.reregister(ctx);
+            }
+            CoordResp::LockGranted { path, epoch, .. } => {
+                if path == keys::lock(self.cfg.group) {
+                    self.begin_upgrade(ctx, epoch);
+                }
+            }
+            CoordResp::LockBusy { path, .. } => {
+                if path == keys::lock(self.cfg.group) {
+                    // Someone else won the race; stop competing
+                    // ("events are triggered to notify others to stop
+                    // competing which will reduce unnecessary actions").
+                    self.elect = None;
+                    if self.role == Role::Electing {
+                        self.role = Role::Standby;
+                    }
+                }
+            }
+            CoordResp::Listing { prefix, entries, .. } => {
+                if prefix == self.bid_prefix() {
+                    self.election_decide(ctx, entries);
+                } else if prefix == keys::all_groups() {
+                    self.absorb_view_listing(ctx, entries);
+                }
+            }
+            CoordResp::Value { .. }
+            | CoordResp::MultiOk { .. }
+            | CoordResp::Watching { .. }
+            | CoordResp::LockReleased { .. } => {}
+        }
+    }
+
+    fn absorb_view_listing(&mut self, ctx: &mut Ctx<'_>, entries: Vec<(String, String)>) {
+        // Replace our cached picture of the view.
+        self.view.retain(|k, _| !k.starts_with("g/"));
+        for (k, v) in entries {
+            self.view.insert(k, v);
+        }
+        self.reconcile_with_view(ctx);
+    }
+
+    /// Compare our role against the authoritative view and fix mismatches.
+    fn reconcile_with_view(&mut self, ctx: &mut Ctx<'_>) {
+        let me = ctx.id();
+        let active = self.active_of_group(self.cfg.group);
+        self.active_hint = active;
+        match active {
+            Some(n) if n != me => {
+                if matches!(self.role, Role::Active | Role::Upgrading) {
+                    self.degrade_to_junior(ctx, "view shows another active");
+                } else {
+                    self.maybe_register(ctx);
+                }
+            }
+            None => {
+                if self.role == Role::Active {
+                    // Our view-update write was lost: re-publish.
+                    self.coord.multi(
+                        ctx,
+                        vec![
+                            KeyOp::Set {
+                                key: keys::active(self.cfg.group),
+                                value: me.to_string(),
+                                ephemeral: true,
+                            },
+                            KeyOp::Set {
+                                key: keys::state(self.cfg.group, me),
+                                value: "A".into(),
+                                ephemeral: true,
+                            },
+                        ],
+                    );
+                } else {
+                    // No active anywhere: candidates should stand.
+                    self.maybe_start_election(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // ----------------------------------------------------- coord events
+
+    pub(crate) fn on_coord_event(&mut self, ctx: &mut Ctx<'_>, ev: CoordEvent) {
+        match ev {
+            CoordEvent::KeyChanged { key, value, by_expiry } => {
+                self.view_set(key.clone(), value.clone());
+                self.on_view_key_changed(ctx, &key, value.as_deref(), by_expiry);
+            }
+            CoordEvent::LockFreed { path, .. } => {
+                if path == keys::lock(self.cfg.group) {
+                    self.note_failure(ctx);
+                    self.maybe_start_election(ctx);
+                }
+            }
+            CoordEvent::LockTaken { path, holder, epoch } => {
+                if path == keys::lock(self.cfg.group) {
+                    self.group_epoch = self.group_epoch.max(epoch);
+                    if holder != ctx.id() {
+                        // A peer holds the lock: abandon any election round.
+                        self.elect = None;
+                        if self.role == Role::Electing {
+                            self.role = Role::Standby;
+                        }
+                        if matches!(self.role, Role::Active | Role::Upgrading) {
+                            self.degrade_to_junior(ctx, "lock taken by peer");
+                        }
+                    }
+                }
+            }
+            CoordEvent::SessionExpired => {
+                // Failure detector fired on *us*.
+                if matches!(self.role, Role::Active | Role::Upgrading) {
+                    self.degrade_to_junior(ctx, "own session expired");
+                } else {
+                    self.registered = false;
+                }
+                self.coord.reregister(ctx);
+            }
+        }
+    }
+
+    fn on_view_key_changed(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        key: &str,
+        value: Option<&str>,
+        _by_expiry: bool,
+    ) {
+        let me = ctx.id();
+        if let Some(group) = keys::parse_active_key(key) {
+            if group != self.cfg.group {
+                return; // other groups matter only for routing (cache is updated)
+            }
+            match value.and_then(crate::view::decode_node) {
+                None => {
+                    self.note_failure(ctx);
+                    self.maybe_start_election(ctx);
+                }
+                Some(n) => {
+                    self.active_hint = Some(n);
+                    self.failure_seen_at = None;
+                    self.elect = None;
+                    if self.role == Role::Electing {
+                        self.role = Role::Standby;
+                    }
+                    if n != me && matches!(self.role, Role::Active | Role::Upgrading) {
+                        self.degrade_to_junior(ctx, "another active appeared");
+                    }
+                    if n != me {
+                        // New active: (re)register with it (step 5).
+                        self.registered = false;
+                        self.maybe_register(ctx);
+                    }
+                }
+            }
+            return;
+        }
+        if let Some((group, node)) = keys::parse_state_key(key) {
+            if group != self.cfg.group {
+                return;
+            }
+            if node == me {
+                // Someone (the renewing protocol's completion, see
+                // renewing.rs) or our own announcement changed our state.
+                return;
+            }
+            if value.is_none() && self.role == Role::Active {
+                // A member died: stop waiting for its acks.
+                self.standbys.remove(&node);
+                self.member_sns.remove(&node);
+                for inf in self.inflight.values_mut() {
+                    inf.waiting_members.remove(&node);
+                }
+                if self.renew_driver.as_ref().is_some_and(|r| r.junior == node) {
+                    self.renew_driver = None;
+                }
+                self.try_complete(ctx);
+            }
+        }
+    }
+
+    /// Record the instant we observed the active disappear (Figure 7's
+    /// failover clock starts here).
+    fn note_failure(&mut self, ctx: &mut Ctx<'_>) {
+        if self.failure_seen_at.is_none()
+            && !matches!(self.role, Role::Active | Role::Upgrading)
+        {
+            self.failure_seen_at = Some(ctx.now());
+            ctx.trace("failover.detected", String::new);
+        }
+    }
+
+    // ------------------------------------------------------- election
+
+    /// Algorithm 1. Standbys bid random numbers; when no standby exists,
+    /// juniors bid their journal sn (the junior with the maximum sn takes
+    /// over). The largest bid acquires the lock.
+    pub(crate) fn maybe_start_election(&mut self, ctx: &mut Ctx<'_>) {
+        if self.elect.is_some() {
+            return;
+        }
+        if self.active_of_group(self.cfg.group).is_some() {
+            return;
+        }
+        let bid = match self.role {
+            Role::Standby => ctx.rng().next_u64() >> 1, // random, below junior cap
+            Role::Junior => {
+                // Juniors stand only when no standby is left
+                // ("it ensures the continuity of metadata service even if
+                // no standbys are in the global view").
+                if !self.members_in_state("S").is_empty() {
+                    return;
+                }
+                self.cursor.max_sn()
+            }
+            _ => return,
+        };
+        ctx.trace("election.start", || format!("bid {bid}"));
+        let me = ctx.id();
+        let key = self.bid_key(me);
+        self.coord.set(ctx, key, bid.to_string(), true);
+        if self.role == Role::Standby {
+            self.role = Role::Electing;
+        }
+        self.elect = Some(ElectState { bid, stage: ElectStage::Window });
+        ctx.set_timer(self.cfg.timing.election_spread, T_ELECT);
+    }
+
+    /// The T_ELECT timer fired.
+    pub(crate) fn election_window_closed(&mut self, ctx: &mut Ctx<'_>) {
+        let stage = match &self.elect {
+            Some(e) => e.stage,
+            None => return,
+        };
+        match stage {
+            ElectStage::Window => {
+                let prefix = self.bid_prefix();
+                self.coord.list(ctx, prefix);
+                if let Some(e) = self.elect.as_mut() {
+                    e.stage = ElectStage::Backoff;
+                }
+                ctx.set_timer(self.cfg.timing.election_spread.mul_f64(4.0), T_ELECT);
+            }
+            ElectStage::Backoff => {
+                // The round fizzled (winner died mid-acquire, listing lost,
+                // …). Start over if there is still no active.
+                self.elect = None;
+                if self.role == Role::Electing {
+                    self.role = Role::Standby;
+                }
+                self.maybe_start_election(ctx);
+            }
+        }
+    }
+
+    /// Bid listing arrived: the largest bid (ties broken by node id) tries
+    /// the lock.
+    fn election_decide(&mut self, ctx: &mut Ctx<'_>, entries: Vec<(String, String)>) {
+        let elect = match &self.elect {
+            Some(e) => e,
+            None => return,
+        };
+        let me = ctx.id();
+        let prefix = self.bid_prefix();
+        let mut best: Option<(u64, NodeId)> = None;
+        for (k, v) in &entries {
+            let node: NodeId = match k[prefix.len()..].parse() {
+                Ok(n) => n,
+                Err(_) => continue,
+            };
+            let bid: u64 = match v.parse() {
+                Ok(b) => b,
+                Err(_) => continue,
+            };
+            if best.is_none_or(|b| (bid, node) > b) {
+                best = Some((bid, node));
+            }
+        }
+        match best {
+            Some((_, winner)) if winner == me => {
+                ctx.trace("election.won_bid", || format!("bid {}", elect.bid));
+                self.coord.acquire_lock(ctx, keys::lock(self.cfg.group));
+            }
+            _ => {
+                // Not the winner: wait; the Backoff timer restarts the round
+                // if the winner fails to take over.
+            }
+        }
+    }
+
+    // ------------------------------------------------------ the switch
+
+    /// Lock granted: run the six-step upgrade.
+    pub(crate) fn begin_upgrade(&mut self, ctx: &mut Ctx<'_>, epoch: u64) {
+        let me = ctx.id();
+        // Step 1: re-check our own state in the view; a concurrently
+        // degraded junior must give the lock up (unless no standby exists —
+        // then a junior takeover is exactly what Algorithm 1 prescribes).
+        let my_state = self.view.get(&keys::state(self.cfg.group, me)).cloned();
+        let standbys_exist =
+            self.members_in_state("S").iter().any(|&n| n != me);
+        if my_state.as_deref() == Some("J") && standbys_exist {
+            ctx.trace("failover.aborted", || "junior with standbys present".into());
+            self.coord.release_lock(ctx, keys::lock(self.cfg.group));
+            self.elect = None;
+            return;
+        }
+        ctx.trace("failover.lock_acquired", || format!("epoch {epoch}"));
+        self.role = Role::Upgrading;
+        self.epoch = epoch;
+        self.group_epoch = self.group_epoch.max(epoch);
+        self.elect = None;
+        // If any pool reply of the switch sequence is lost, rerun it.
+        ctx.set_timer(self.cfg.timing.register_retry.mul_f64(2.0), T_UPGRADE_RETRY);
+        // Fence the pool before reading its authoritative tail, so the
+        // deposed active cannot append behind our back.
+        let group = self.cfg.group;
+        self.pool_send(
+            ctx,
+            move |req| PoolReq::AdvanceEpoch { group, to: epoch, req },
+            PoolCtx::EpochAdvance,
+        );
+    }
+
+    pub(crate) fn on_epoch_advanced(&mut self, ctx: &mut Ctx<'_>, _resp: PoolResp) {
+        if self.role != Role::Upgrading {
+            return;
+        }
+        // Commit any cached journals, then sync with the SSP tail: every
+        // client-acknowledged batch is durable there, so after this read we
+        // hold everything that was ever acknowledged.
+        let group = self.cfg.group;
+        let after = self.cursor.max_sn();
+        let max = self.cfg.timing.catchup_page;
+        self.pool_send(
+            ctx,
+            move |req| PoolReq::ReadJournal { group, after_sn: after, max, req },
+            PoolCtx::UpgradeTail,
+        );
+    }
+
+    pub(crate) fn on_upgrade_tail(&mut self, ctx: &mut Ctx<'_>, resp: PoolResp) {
+        if self.role != Role::Upgrading {
+            return;
+        }
+        match resp {
+            PoolResp::Journal { batches, tail_sn, compacted, .. } => {
+                if compacted {
+                    // Too far behind the shared journal: load the image
+                    // first (elected-junior path).
+                    self.start_image_fetch(ctx, true);
+                    return;
+                }
+                for b in batches {
+                    self.ingest_batch(b);
+                }
+                if self.cursor.max_sn() < tail_sn {
+                    let group = self.cfg.group;
+                    let after = self.cursor.max_sn();
+                    let max = self.cfg.timing.catchup_page;
+                    self.pool_send(
+                        ctx,
+                        move |req| PoolReq::ReadJournal { group, after_sn: after, max, req },
+                        PoolCtx::UpgradeTail,
+                    );
+                } else {
+                    self.finish_upgrade(ctx);
+                }
+            }
+            other => {
+                ctx.trace("failover.pool_error", || format!("{other:?}"));
+                self.degrade_to_junior(ctx, "pool error during upgrade");
+            }
+        }
+    }
+
+    /// Steps 2/3/6: flip the view, then serve (buffered requests first).
+    pub(crate) fn finish_upgrade(&mut self, ctx: &mut Ctx<'_>) {
+        let me = ctx.id();
+        self.role = Role::Active;
+        self.active_hint = Some(me);
+        self.registered = true;
+        self.standbys.clear();
+        self.member_sns.clear();
+        self.inflight.clear();
+        self.catchup = None;
+        self.coord.multi(
+            ctx,
+            vec![
+                KeyOp::Set { key: keys::active(self.cfg.group), value: me.to_string(), ephemeral: true },
+                KeyOp::Set { key: keys::state(self.cfg.group, me), value: "A".into(), ephemeral: true },
+                KeyOp::Delete { key: self.bid_key(me) },
+            ],
+        );
+        ctx.trace("failover.view_updated", String::new);
+        ctx.trace("failover.switch_done", || format!("sn {}", self.cursor.max_sn()));
+        // Step 6: release buffered client requests.
+        let buffered = std::mem::take(&mut self.buffered);
+        for (from, req) in buffered {
+            self.on_client_req(ctx, from, req);
+        }
+        self.flush_batch(ctx);
+    }
+
+    // ---------------------------------------------------- registration
+
+    /// Member side of step 5: present our journal position to the active.
+    pub(crate) fn maybe_register(&mut self, ctx: &mut Ctx<'_>) {
+        if self.registered || matches!(self.role, Role::Active | Role::Upgrading) {
+            return;
+        }
+        let active = match self.active_hint.or_else(|| self.active_of_group(self.cfg.group)) {
+            Some(a) => a,
+            None => return,
+        };
+        if active == ctx.id() {
+            return;
+        }
+        ctx.send(active, GroupMsg::Register { sn: self.cursor.max_sn() });
+    }
+
+    /// Active side of step 5: qualify a member by comparing sn.
+    /// "If a server does not have the same maximum sn, it is switched to
+    /// junior. Otherwise the server will be assigned to standby."
+    pub(crate) fn on_register(&mut self, ctx: &mut Ctx<'_>, from: NodeId, sn: u64) {
+        if self.role != Role::Active {
+            return; // member retries; we may still be upgrading
+        }
+        self.member_sns.insert(from, sn);
+        let tail = self.log.tail_sn();
+        let as_standby = sn == tail;
+        if as_standby {
+            self.standbys.insert(from);
+            ctx.trace("member.standby", || format!("n{from} at sn {sn}"));
+        } else {
+            ctx.trace("member.junior", || format!("n{from} at sn {sn} (tail {tail})"));
+        }
+        ctx.send(from, GroupMsg::RegisterAck { as_standby, epoch: self.epoch, tail_sn: tail });
+    }
+
+    /// Member: the active's verdict.
+    pub(crate) fn on_register_ack(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: NodeId,
+        as_standby: bool,
+        epoch: u64,
+        tail_sn: u64,
+    ) {
+        if matches!(self.role, Role::Active | Role::Upgrading) {
+            return;
+        }
+        self.group_epoch = self.group_epoch.max(epoch);
+        self.active_hint = Some(from);
+        self.registered = true;
+        if as_standby {
+            self.role = Role::Standby;
+            self.catchup = None;
+            self.announce_state(ctx);
+            ctx.trace("member.registered_standby", String::new);
+        } else {
+            if self.cursor.max_sn() > tail_sn {
+                // Divergent suffix (our extra batches were never
+                // client-acknowledged): rebuild from scratch.
+                ctx.trace("member.reset_divergent", || {
+                    format!("our sn {} > tail {tail_sn}", self.cursor.max_sn())
+                });
+                self.reset_replica_state();
+            }
+            self.role = Role::Junior;
+            self.announce_state(ctx);
+            ctx.trace("member.registered_junior", String::new);
+        }
+    }
+
+    // ------------------------------------------------------ degradation
+
+    /// "Once the active has detected fatal errors ... it will be directly
+    /// degraded to the junior state."
+    pub(crate) fn degrade_to_junior(&mut self, ctx: &mut Ctx<'_>, reason: &str) {
+        ctx.trace("failover.degraded", || reason.to_string());
+        // Unanswered clients will time out and retry against the new
+        // active; duplicate suppression there keeps operations exact.
+        self.pending.clear();
+        self.inflight.clear();
+        self.ingress.clear();
+        self.buffered.clear();
+        self.standbys.clear();
+        self.member_sns.clear();
+        self.renew_driver = None;
+        self.xg_to_sn.clear();
+        self.xg_outstanding.clear();
+        self.elect = None;
+        self.catchup = None;
+        self.role = Role::Junior;
+        self.registered = false;
+        self.announce_state(ctx);
+        self.maybe_register(ctx);
+    }
+}

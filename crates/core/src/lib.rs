@@ -1,0 +1,40 @@
+//! # mams-core — the MAMS (multiple actives multiple standbys) policy
+//!
+//! The paper's contribution: replica groups of metadata servers with one
+//! **active**, several hot **standbys**, and possibly out-of-sync
+//! **juniors**, coordinated through a global view and two distributed
+//! protocols (Section III):
+//!
+//! * the **failover protocol** — event-driven failure detection through the
+//!   global view, Algorithm 1 active election (standbys race for the
+//!   distributed lock with random bids; with no standbys left, the junior
+//!   with the maximum journal `sn` takes over), and the six-step
+//!   active-standby switch with `sn`-based duplicate suppression and
+//!   epoch-fenced SSP access;
+//! * the **renewing protocol** — background recovery that upgrades a junior
+//!   to a standby by loading the namespace image from the SSP (resumable,
+//!   checkpointed) and replaying the journal tail, finishing with a final
+//!   synchronization handshake once the `sn` gap is small.
+//!
+//! The central type is [`MdsServer`]: one replica-group member. It embeds
+//! the namespace tree, journal log and replay cursor, block map, the
+//! coordination client, and the role state machine, and runs on any
+//! `mams-sim` runtime.
+
+pub mod config;
+pub mod ingress;
+pub mod proto;
+pub mod retry;
+pub mod server;
+pub mod view;
+
+mod active;
+mod failover;
+mod renewing;
+
+pub use config::{InitialRole, MdsConfig, MdsTiming};
+pub use proto::{FsOp, GroupMsg, MdsReq, MdsResp, OpOutput};
+pub use ingress::{CpuModel, Ingress, IngressItem};
+pub use retry::RetryCache;
+pub use server::{MdsServer, Role};
+pub use view::keys;

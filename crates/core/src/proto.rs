@@ -1,0 +1,153 @@
+//! Client ↔ MDS and intra-group protocol messages.
+
+use mams_journal::{JournalBatch, Sn};
+use mams_namespace::FileInfo;
+use mams_sim::NodeId;
+use mams_storage::pool::Epoch;
+use serde::{Deserialize, Serialize};
+
+/// A metadata operation as issued by a client. The first five are exactly
+/// the operations benchmarked in the paper (Figure 5/6); the rest round out
+/// a usable file-system API.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FsOp {
+    Create { path: String, replication: u8 },
+    Mkdir { path: String },
+    Delete { path: String, recursive: bool },
+    Rename { src: String, dst: String },
+    GetFileInfo { path: String },
+    List { path: String },
+    AddBlock { path: String, len: u32 },
+    CloseFile { path: String },
+    SetPerm { path: String, perm: u16 },
+}
+
+impl FsOp {
+    /// Whether this operation mutates the namespace (and therefore must be
+    /// journaled and synchronized).
+    pub fn is_mutation(&self) -> bool {
+        !matches!(self, FsOp::GetFileInfo { .. } | FsOp::List { .. })
+    }
+
+    /// Path used for partition routing (the rename source, like
+    /// `Txn::primary_path`).
+    pub fn primary_path(&self) -> &str {
+        match self {
+            FsOp::Create { path, .. }
+            | FsOp::Mkdir { path }
+            | FsOp::Delete { path, .. }
+            | FsOp::GetFileInfo { path }
+            | FsOp::List { path }
+            | FsOp::AddBlock { path, .. }
+            | FsOp::CloseFile { path }
+            | FsOp::SetPerm { path, .. } => path,
+            FsOp::Rename { src, .. } => src,
+        }
+    }
+
+    /// Whether the op is one of the paper's distributed transactions
+    /// (structural: must execute on every replica group).
+    pub fn is_structural(&self) -> bool {
+        matches!(self, FsOp::Mkdir { .. } | FsOp::Delete { .. } | FsOp::Rename { .. })
+    }
+}
+
+/// Successful operation result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpOutput {
+    Done,
+    Info(FileInfo),
+    Listing(Vec<String>),
+    /// Block id allocated by `AddBlock`.
+    Block(u64),
+}
+
+/// Client → MDS requests.
+#[derive(Debug, Clone)]
+pub enum MdsReq {
+    /// `seq` is a per-client monotonically increasing number; the server
+    /// remembers the last reply per client so a retried request is answered
+    /// from the cache instead of re-executed (duplicate handling).
+    Op { op: FsOp, seq: u64 },
+    /// Admin: checkpoint the namespace image to the SSP.
+    Checkpoint,
+    /// Data-server block report: the complete set of blocks this server
+    /// holds. Sent to *all* group members so standbys stay hot.
+    BlockReport { server: u32, blocks: Vec<u64> },
+}
+
+/// MDS → client responses.
+#[derive(Debug, Clone)]
+pub enum MdsResp {
+    Reply { seq: u64, result: Result<OpOutput, String> },
+    /// The receiver is not the active for this group; the client should
+    /// re-resolve the active from the global view and retry.
+    NotActive { seq: u64 },
+}
+
+/// Intra-replica-group messages.
+#[derive(Debug, Clone)]
+pub enum GroupMsg {
+    /// Active → members: journal synchronization (the "modified two-phase
+    /// commit": the SSP append is the durable record, member acks are the
+    /// commit votes the active waits for before answering clients).
+    SyncJournal { epoch: Epoch, batch: JournalBatch },
+    /// Member → active: applied through `sn` (duplicate-suppressed).
+    SyncAck { sn: Sn },
+    /// Member → (new) active after a view change: step 5 registration,
+    /// carrying the member's journal position.
+    Register { sn: Sn },
+    /// Active → member: registration verdict.
+    RegisterAck { as_standby: bool, epoch: Epoch, tail_sn: Sn },
+    /// Active → junior: begin renewing towards `tip_sn`.
+    RenewStart { tip_sn: Sn },
+    /// Junior → active: catch-up progress (pool phase).
+    RenewProgress { sn: Sn },
+    /// Active → junior: the final-synchronization journal range.
+    RenewJournal { epoch: Epoch, batches: Vec<JournalBatch> },
+    /// Coordinator active → other groups' actives: apply a structural
+    /// transaction (distributed transaction leg). `xid` is unique per
+    /// (origin group, txid) for duplicate suppression.
+    XGroupApply { xid: (u32, u64), txn: mams_journal::Txn },
+    /// Reply to `XGroupApply` once the leg is durable in that group.
+    XGroupAck { xid: (u32, u64), group: u32, ok: bool },
+}
+
+/// Reserved data-server id range start for MDS-internal use.
+pub const NO_SERVER: u32 = u32::MAX;
+
+#[allow(unused)]
+fn _assert_send() {
+    fn is_send<T: Send>() {}
+    is_send::<MdsReq>();
+    is_send::<MdsResp>();
+    is_send::<GroupMsg>();
+    let _ = NodeId::default();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutation_classification() {
+        assert!(FsOp::Create { path: "/f".into(), replication: 1 }.is_mutation());
+        assert!(FsOp::Rename { src: "/a".into(), dst: "/b".into() }.is_mutation());
+        assert!(!FsOp::GetFileInfo { path: "/f".into() }.is_mutation());
+        assert!(!FsOp::List { path: "/".into() }.is_mutation());
+    }
+
+    #[test]
+    fn structural_matches_paper_distributed_txns() {
+        assert!(FsOp::Mkdir { path: "/d".into() }.is_structural());
+        assert!(FsOp::Delete { path: "/d".into(), recursive: true }.is_structural());
+        assert!(FsOp::Rename { src: "/a".into(), dst: "/b".into() }.is_structural());
+        assert!(!FsOp::Create { path: "/f".into(), replication: 1 }.is_structural());
+        assert!(!FsOp::AddBlock { path: "/f".into(), len: 1 }.is_structural());
+    }
+
+    #[test]
+    fn rename_routes_by_source() {
+        assert_eq!(FsOp::Rename { src: "/s".into(), dst: "/d".into() }.primary_path(), "/s");
+    }
+}

@@ -1,0 +1,356 @@
+//! The renewing protocol: upgrading juniors back to hot standbys.
+//!
+//! "During the runtime, the active scans the global view periodically and
+//! tries to launch the renewing process when there are juniors. It selects
+//! one server with the least gap in namespace state and creates a session
+//! for recovery at each time." (Section III-D.)
+//!
+//! The junior drives its own catch-up against the SSP — image first when
+//! the `sn` gap is large (resumable, chunked), then journal pages — and
+//! reports progress. When the gap is small the active launches the final
+//! synchronization stage: it adds the junior to the live sync set and ships
+//! the remaining batches directly; once the junior acknowledges the tail
+//! `sn`, the active promotes it and the junior announces itself a standby.
+
+use bytes::Bytes;
+use mams_journal::{JournalBatch, JournalLog, ReplayCursor, Sn};
+use mams_sim::{Ctx, NodeId};
+use mams_storage::proto::{PoolReq, PoolResp};
+
+use crate::proto::GroupMsg;
+use crate::server::{Catchup, CatchupStage, MdsServer, PoolCtx, RenewDriver, Role};
+
+impl MdsServer {
+    // ---------------------------------------------------- active side
+
+    /// Periodic scan for juniors needing renewal (one session at a time).
+    /// A session that makes no progress for several scans (lost messages,
+    /// silently dead junior) is abandoned so another can start.
+    pub(crate) fn renew_scan(&mut self, ctx: &mut Ctx<'_>) {
+        if self.role != Role::Active {
+            return;
+        }
+        if let Some(d) = self.renew_driver.as_mut() {
+            d.stale_scans += 1;
+            if d.stale_scans > 5 {
+                ctx.trace("renew.session_stalled", || format!("junior n{}", d.junior));
+                self.renew_driver = None;
+            } else {
+                return;
+            }
+        }
+        // Registered members currently in junior state, by least gap
+        // (highest sn) first.
+        let juniors = self.members_in_state("J");
+        let candidate = juniors
+            .iter()
+            .filter_map(|&n| self.member_sns.get(&n).map(|&sn| (sn, n)))
+            .max();
+        if let Some((sn, junior)) = candidate {
+            let tip = self.log.tail_sn();
+            ctx.trace("renew.session_start", || format!("junior n{junior} sn {sn} tip {tip}"));
+            self.renew_driver =
+                Some(RenewDriver { junior, last_progress_sn: sn, stale_scans: 0 });
+            ctx.send(junior, GroupMsg::RenewStart { tip_sn: tip });
+        }
+    }
+
+    /// Junior progress report. When the gap is small, enter the final
+    /// synchronization stage.
+    pub(crate) fn on_renew_progress(&mut self, ctx: &mut Ctx<'_>, from: NodeId, sn: Sn) {
+        if self.role != Role::Active {
+            return;
+        }
+        let driver = match self.renew_driver.as_mut() {
+            Some(d) if d.junior == from => d,
+            _ => return,
+        };
+        driver.last_progress_sn = sn;
+        driver.stale_scans = 0;
+        self.member_sns.insert(from, sn);
+        let tail = self.log.tail_sn();
+        if tail.saturating_sub(sn) <= self.cfg.timing.renew_final_gap {
+            // Final stage: live-sync from now on + ship the missing range.
+            self.standbys.insert(from);
+            match self.log.read_after(sn) {
+                Some(batches) if !batches.is_empty() => {
+                    let batches: Vec<JournalBatch> = batches.to_vec();
+                    ctx.trace("renew.final_sync", || {
+                        format!("n{from}: {} batches to tail {tail}", batches.len())
+                    });
+                    ctx.send(from, GroupMsg::RenewJournal { epoch: self.epoch, batches });
+                }
+                Some(_) => {
+                    // Already at the tail; promote on its next ack (or now).
+                    if sn == tail {
+                        self.promote_junior(ctx, from);
+                    }
+                }
+                None => {
+                    // The range was compacted from our local log (rare:
+                    // checkpoint raced the session). Let the junior keep
+                    // pulling from the pool.
+                    self.standbys.remove(&from);
+                }
+            }
+        }
+    }
+
+    /// Called from the SyncAck path: a renewing junior that acknowledges
+    /// our tail is fully synchronized — flip it to standby in the view.
+    pub(crate) fn renew_check_promotion(&mut self, ctx: &mut Ctx<'_>, from: NodeId, sn: Sn) {
+        if self.role != Role::Active {
+            return;
+        }
+        let is_session_junior =
+            self.renew_driver.as_ref().is_some_and(|d| d.junior == from);
+        if is_session_junior && sn == self.log.tail_sn() {
+            self.promote_junior(ctx, from);
+        }
+    }
+
+    fn promote_junior(&mut self, ctx: &mut Ctx<'_>, junior: NodeId) {
+        ctx.trace("renew.promoted", || format!("n{junior}"));
+        self.renew_driver = None;
+        self.standbys.insert(junior);
+        ctx.send(
+            junior,
+            GroupMsg::RegisterAck {
+                as_standby: true,
+                epoch: self.epoch,
+                tail_sn: self.log.tail_sn(),
+            },
+        );
+    }
+
+    // ---------------------------------------------------- junior side
+
+    /// The active opened a renewing session with us.
+    pub(crate) fn on_renew_start(&mut self, ctx: &mut Ctx<'_>, from: NodeId, tip_sn: Sn) {
+        if self.role != Role::Junior {
+            return;
+        }
+        self.active_hint = Some(from);
+        let gap = tip_sn.saturating_sub(self.cursor.max_sn());
+        ctx.trace("renew.begin", || format!("gap {gap}"));
+        if let Some(c) = &self.catchup {
+            // Resume an interrupted session from its checkpoint instead of
+            // retransmitting everything.
+            if let CatchupStage::Image { offset, .. } = &c.stage {
+                ctx.trace("renew.resume", || format!("image offset {offset}"));
+                self.request_image_meta(ctx, false);
+                return;
+            }
+        }
+        if gap > self.cfg.timing.renew_image_gap {
+            self.start_image_fetch(ctx, false);
+        } else {
+            self.catchup = Some(Catchup { stage: CatchupStage::Journal });
+            self.request_journal_page(ctx, false);
+        }
+    }
+
+    /// Begin (or resume) fetching the namespace image from the pool.
+    pub(crate) fn start_image_fetch(&mut self, ctx: &mut Ctx<'_>, for_upgrade: bool) {
+        let keep = matches!(
+            &self.catchup,
+            Some(Catchup { stage: CatchupStage::Image { .. }, .. })
+        );
+        if !keep {
+            self.catchup = Some(Catchup { stage: CatchupStage::Meta });
+        }
+        self.request_image_meta(ctx, for_upgrade);
+    }
+
+    fn request_image_meta(&mut self, ctx: &mut Ctx<'_>, for_upgrade: bool) {
+        let group = self.cfg.group;
+        self.pool_send(
+            ctx,
+            move |req| PoolReq::ReadImageMeta { group, req },
+            PoolCtx::ImageMeta { for_upgrade },
+        );
+    }
+
+    fn request_image_chunk(&mut self, ctx: &mut Ctx<'_>, offset: u64, for_upgrade: bool) {
+        let group = self.cfg.group;
+        let len = self.cfg.timing.image_chunk;
+        self.pool_send(
+            ctx,
+            move |req| PoolReq::ReadImageChunk { group, offset, len, req },
+            PoolCtx::ImageChunk { for_upgrade },
+        );
+    }
+
+    fn request_journal_page(&mut self, ctx: &mut Ctx<'_>, for_upgrade: bool) {
+        let group = self.cfg.group;
+        let after = self.cursor.max_sn();
+        let max = self.cfg.timing.catchup_page;
+        self.pool_send(
+            ctx,
+            move |req| PoolReq::ReadJournal { group, after_sn: after, max, req },
+            PoolCtx::CatchupPage { for_upgrade },
+        );
+    }
+
+    pub(crate) fn on_image_meta(&mut self, ctx: &mut Ctx<'_>, resp: PoolResp, for_upgrade: bool) {
+        if self.catchup.is_none() {
+            return;
+        }
+        match resp {
+            PoolResp::ImageMeta { meta: Some((image_sn, _size)), .. } => {
+                if image_sn <= self.cursor.max_sn() {
+                    // We are already past the checkpoint: journal only.
+                    if let Some(c) = self.catchup.as_mut() {
+                        c.stage = CatchupStage::Journal;
+                    }
+                    self.request_journal_page(ctx, for_upgrade);
+                    return;
+                }
+                // Start or resume the chunked transfer.
+                let offset = match &self.catchup.as_ref().expect("checked").stage {
+                    CatchupStage::Image { offset, .. } => *offset,
+                    _ => {
+                        if let Some(c) = self.catchup.as_mut() {
+                            c.stage = CatchupStage::Image { offset: 0, buf: Vec::new() };
+                        }
+                        0
+                    }
+                };
+                self.request_image_chunk(ctx, offset, for_upgrade);
+            }
+            _ => {
+                // No image in the pool: fall back to pure journal replay.
+                if let Some(c) = self.catchup.as_mut() {
+                    c.stage = CatchupStage::Journal;
+                }
+                self.request_journal_page(ctx, for_upgrade);
+            }
+        }
+    }
+
+    pub(crate) fn on_image_chunk(&mut self, ctx: &mut Ctx<'_>, resp: PoolResp, for_upgrade: bool) {
+        let (chunk_offset, data, total) = match resp {
+            PoolResp::ImageChunk { offset, data, total, .. } => (offset, data, total),
+            other => {
+                ctx.trace("renew.chunk_error", || format!("{other:?}"));
+                return;
+            }
+        };
+        let done = {
+            let c = match self.catchup.as_mut() {
+                Some(c) => c,
+                None => return,
+            };
+            match &mut c.stage {
+                CatchupStage::Image { offset, buf } => {
+                    if chunk_offset != *offset {
+                        // A duplicate/stale stream (e.g. a resumed session
+                        // racing the original): exactly one stream may
+                        // advance the cursor; drop the other.
+                        return;
+                    }
+                    buf.extend_from_slice(&data);
+                    *offset += data.len() as u64;
+                    *offset >= total || data.is_empty()
+                }
+                _ => return, // stale chunk after a stage change
+            }
+        };
+        if !done {
+            let offset = match &self.catchup.as_ref().expect("checked").stage {
+                CatchupStage::Image { offset, .. } => *offset,
+                _ => unreachable!(),
+            };
+            self.request_image_chunk(ctx, offset, for_upgrade);
+            return;
+        }
+        // Whole image in hand: rebuild the namespace from it.
+        let buf = match self.catchup.as_mut() {
+            Some(Catchup { stage: CatchupStage::Image { buf, .. }, .. }) => std::mem::take(buf),
+            _ => return,
+        };
+        match mams_namespace::decode_image(Bytes::from(buf)) {
+            Ok((tree, image_sn)) => {
+                ctx.trace("renew.image_loaded", || format!("checkpoint sn {image_sn}"));
+                self.ns = tree;
+                self.log = JournalLog::with_base(image_sn);
+                self.cursor = ReplayCursor::at(image_sn);
+                self.stash.clear();
+                if let Some(c) = self.catchup.as_mut() {
+                    c.stage = CatchupStage::Journal;
+                }
+                self.request_journal_page(ctx, for_upgrade);
+            }
+            Err(e) => {
+                ctx.trace("renew.image_corrupt", || e.to_string());
+                // Retransmit from scratch.
+                self.catchup = Some(Catchup { stage: CatchupStage::Meta });
+                self.request_image_meta(ctx, for_upgrade);
+            }
+        }
+    }
+
+    pub(crate) fn on_catchup_page(&mut self, ctx: &mut Ctx<'_>, resp: PoolResp, for_upgrade: bool) {
+        if self.catchup.is_none() && !for_upgrade {
+            return;
+        }
+        match resp {
+            PoolResp::Journal { batches, tail_sn, compacted, .. } => {
+                if compacted {
+                    // Checkpoint raced us; restart from the image.
+                    self.start_image_fetch(ctx, for_upgrade);
+                    return;
+                }
+                for b in batches {
+                    self.ingest_batch(b);
+                }
+                let caught_up = self.cursor.max_sn() >= tail_sn;
+                if for_upgrade {
+                    if caught_up {
+                        self.finish_upgrade(ctx);
+                    } else {
+                        self.request_journal_page(ctx, true);
+                    }
+                    return;
+                }
+                // Renewing: report progress; keep paging until we reach the
+                // shared journal's tail, then wait for the final stage.
+                let sn = self.cursor.max_sn();
+                if let Some(active) = self.active_hint {
+                    if active != ctx.id() {
+                        ctx.send(active, GroupMsg::RenewProgress { sn });
+                    }
+                }
+                if caught_up {
+                    if let Some(c) = self.catchup.as_mut() {
+                        c.stage = CatchupStage::Final;
+                    }
+                } else {
+                    self.request_journal_page(ctx, false);
+                }
+            }
+            other => {
+                ctx.trace("renew.page_error", || format!("{other:?}"));
+            }
+        }
+    }
+
+    /// The active shipped the final-synchronization range directly.
+    pub(crate) fn on_renew_journal(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: NodeId,
+        epoch: u64,
+        batches: Vec<JournalBatch>,
+    ) {
+        if epoch < self.group_epoch || matches!(self.role, Role::Active | Role::Upgrading) {
+            return;
+        }
+        self.group_epoch = epoch;
+        self.active_hint = Some(from);
+        for b in batches {
+            self.ingest_batch(b);
+        }
+        ctx.send(from, GroupMsg::SyncAck { sn: self.cursor.max_sn() });
+    }
+}

@@ -1,0 +1,94 @@
+//! Duplicate-request handling ("duplicated message handling in the MAMS
+//! will avoid the problem of incorrect metadata operations", Section IV-C).
+//!
+//! Servers remember the last responses per client; an exactly-retried
+//! request is answered from the cache, never re-executed. Clients may have
+//! several operations outstanding (the MapReduce workers do), so the cache
+//! holds a bounded window per client rather than a single entry. A retry
+//! older than the window re-executes and fails benignly (e.g.
+//! `AlreadyExists`), which the client libraries reconcile.
+
+use std::collections::{BTreeMap, HashMap};
+
+use mams_sim::NodeId;
+
+use crate::proto::MdsResp;
+
+/// Bounded per-client response cache.
+#[derive(Debug, Default)]
+pub struct RetryCache {
+    per_client: HashMap<NodeId, BTreeMap<u64, MdsResp>>,
+    cap: usize,
+}
+
+/// Default responses remembered per client.
+pub const DEFAULT_RETRY_WINDOW: usize = 128;
+
+impl RetryCache {
+    pub fn new() -> Self {
+        RetryCache { per_client: HashMap::new(), cap: DEFAULT_RETRY_WINDOW }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        assert!(cap >= 1);
+        RetryCache { per_client: HashMap::new(), cap }
+    }
+
+    /// A cached response for an exact duplicate, if remembered.
+    pub fn check(&self, from: NodeId, seq: u64) -> Option<MdsResp> {
+        self.per_client.get(&from).and_then(|m| m.get(&seq)).cloned()
+    }
+
+    /// Remember a response, evicting the oldest beyond the window.
+    pub fn store(&mut self, from: NodeId, seq: u64, resp: MdsResp) {
+        let m = self.per_client.entry(from).or_default();
+        m.insert(seq, resp);
+        while m.len() > self.cap {
+            let oldest = *m.keys().next().expect("non-empty");
+            m.remove(&oldest);
+        }
+    }
+
+    /// Forget everything (new active after failover starts empty).
+    pub fn clear(&mut self) {
+        self.per_client.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resp(seq: u64) -> MdsResp {
+        MdsResp::Reply { seq, result: Ok(crate::proto::OpOutput::Done) }
+    }
+
+    #[test]
+    fn exact_duplicates_hit() {
+        let mut c = RetryCache::new();
+        c.store(1, 5, resp(5));
+        assert!(c.check(1, 5).is_some());
+        assert!(c.check(1, 4).is_none(), "unknown seqs execute fresh");
+        assert!(c.check(2, 5).is_none(), "caches are per client");
+    }
+
+    #[test]
+    fn out_of_order_seqs_are_all_remembered() {
+        let mut c = RetryCache::new();
+        c.store(1, 9, resp(9));
+        c.store(1, 3, resp(3));
+        assert!(c.check(1, 3).is_some(), "lower seq after higher must not be dropped");
+        assert!(c.check(1, 9).is_some());
+    }
+
+    #[test]
+    fn window_evicts_oldest() {
+        let mut c = RetryCache::with_capacity(2);
+        c.store(1, 1, resp(1));
+        c.store(1, 2, resp(2));
+        c.store(1, 3, resp(3));
+        assert!(c.check(1, 1).is_none());
+        assert!(c.check(1, 2).is_some());
+        assert!(c.check(1, 3).is_some());
+    }
+}

@@ -1,0 +1,561 @@
+//! The replica-group member: state, dispatch, and shared machinery.
+//!
+//! Role-specific behaviour lives in sibling modules: `active` (client
+//! operations, journal batching/sync, distributed transactions,
+//! checkpoints), `failover` (detection, election, the six-step switch,
+//! degradation), and `renewing` (junior recovery).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use mams_coord::{CoordClient, Incoming};
+use mams_journal::{JournalBatch, JournalLog, ReplayCursor, Sn, Txn, TxnId};
+use mams_namespace::{BlockMap, NamespaceTree};
+use mams_sim::{Ctx, Duration, Message, Node, NodeId, SimTime};
+use mams_storage::pool::Epoch;
+use mams_storage::proto::{PoolReq, PoolResp, ReqId};
+
+use crate::config::{InitialRole, MdsConfig};
+use crate::proto::{GroupMsg, MdsReq, OpOutput};
+
+/// Timer tokens (coord heartbeat uses its own reserved token).
+pub(crate) const T_FLUSH: u64 = 1;
+pub(crate) const T_RENEW_SCAN: u64 = 2;
+pub(crate) const T_ELECT: u64 = 3;
+pub(crate) const T_REGISTER: u64 = 4;
+pub(crate) const T_XG_RETRY: u64 = 5;
+pub(crate) const T_GAP_REPAIR: u64 = 6;
+pub(crate) const T_POOL_RETRY: u64 = 7;
+pub(crate) const T_VIEW_REFRESH: u64 = 8;
+pub(crate) const T_UPGRADE_RETRY: u64 = 9;
+pub(crate) const T_CHECKPOINT: u64 = 10;
+
+/// A member's role, as in Figure 3 of the paper, plus the two transitional
+/// states the protocol moves through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    Active,
+    Standby,
+    Junior,
+    /// Participating in an election round (bid posted).
+    Electing,
+    /// Holds the lock; executing the six-step switch.
+    Upgrading,
+}
+
+impl Role {
+    /// The single-letter view encoding used in the global view (and in the
+    /// paper's Table II).
+    pub fn letter(self) -> &'static str {
+        match self {
+            Role::Active => "A",
+            Role::Standby => "S",
+            Role::Junior => "J",
+            Role::Electing => "S", // a bidding standby is still a standby
+            Role::Upgrading => "S",
+        }
+    }
+}
+
+/// Why we are waiting on a pool response.
+#[derive(Debug)]
+pub(crate) enum PoolCtx {
+    /// Ack for the SSP append of batch `sn`.
+    AppendAck { sn: Sn },
+    /// Upgrade step: reading the authoritative journal tail from the pool.
+    UpgradeTail,
+    /// Upgrade/renewing: image metadata.
+    ImageMeta { for_upgrade: bool },
+    /// Image chunk during catch-up.
+    ImageChunk { for_upgrade: bool },
+    /// Journal page during catch-up (renewing or upgrade).
+    CatchupPage { for_upgrade: bool },
+    /// Checkpoint write ack.
+    CheckpointWrite,
+    /// Fencing epoch advance ack during upgrade.
+    EpochAdvance,
+    /// Standby-side repair of a sync gap (lost `SyncJournal`) from the pool.
+    GapRepair,
+}
+
+/// Client reply destination for a pending mutation.
+#[derive(Debug, Clone)]
+pub(crate) enum ReplyTo {
+    Client { node: NodeId, seq: u64 },
+    /// A distributed-transaction leg: ack the coordinating active.
+    XGroup { coordinator: NodeId, xid: (u32, u64) },
+}
+
+/// A validated-and-not-yet-flushed mutation.
+#[derive(Debug)]
+pub(crate) struct PendingOp {
+    pub txn: Txn,
+    pub reply: ReplyTo,
+    pub output: OpOutput,
+    /// Distributed-transaction id when this op coordinates legs on other
+    /// groups.
+    pub xid: Option<(u32, u64)>,
+}
+
+/// A flushed batch awaiting durability votes.
+///
+/// Two release levels: **durability** (SSP + standby acks) frees the
+/// distributed-transaction leg acks immediately — tying leg acks to full
+/// completion would deadlock two groups coordinating at each other — while
+/// **client replies** additionally wait for this batch's own outgoing legs
+/// and are released in sn order.
+#[derive(Debug, Default)]
+pub(crate) struct Inflight {
+    pub waiting_pool: bool,
+    pub waiting_members: BTreeSet<NodeId>,
+    /// Outgoing distributed-transaction legs client replies wait on.
+    pub waiting_xg: HashSet<(u32, u64)>,
+    pub client_replies: Vec<(ReplyTo, Result<OpOutput, String>)>,
+    /// Leg acknowledgements owed to other groups' coordinators.
+    pub xg_replies: Vec<(ReplyTo, Result<OpOutput, String>)>,
+    pub xg_acked: bool,
+}
+
+impl Inflight {
+    /// Locally durable: in the SSP and on every current standby.
+    pub fn durable(&self) -> bool {
+        !self.waiting_pool && self.waiting_members.is_empty()
+    }
+
+    pub fn complete(&self) -> bool {
+        self.durable() && self.waiting_xg.is_empty()
+    }
+}
+
+/// Junior-side renewing progress.
+#[derive(Debug)]
+pub(crate) enum CatchupStage {
+    /// Asked the pool for image metadata.
+    Meta,
+    /// Downloading image chunks; `buf` accumulates, `offset` is the resume
+    /// checkpoint.
+    Image { offset: u64, buf: Vec<u8> },
+    /// Replaying journal pages from the pool.
+    Journal,
+    /// Waiting for the active's final synchronization range.
+    Final,
+}
+
+/// A catch-up session (used by a renewing junior and by an elected member
+/// syncing with the pool before switching).
+#[derive(Debug)]
+pub(crate) struct Catchup {
+    pub stage: CatchupStage,
+}
+
+/// Active-side renewing session (one junior at a time, per the paper).
+#[derive(Debug)]
+pub(crate) struct RenewDriver {
+    pub junior: NodeId,
+    pub last_progress_sn: Sn,
+    /// Scan ticks with no progress; a stalled session (lost messages, dead
+    /// junior) is abandoned and restarted.
+    pub stale_scans: u32,
+}
+
+/// A coordinator-side distributed transaction with unacked legs.
+#[derive(Debug)]
+pub(crate) struct XgOutstanding {
+    pub txn: Txn,
+    /// Groups that have not acknowledged the leg yet.
+    pub groups: HashSet<u32>,
+}
+
+/// Election round stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ElectStage {
+    /// Bid posted; waiting for the bid window to close.
+    Window,
+    /// Bid listing requested / lock attempt possibly in flight; if nothing
+    /// happens by the backoff deadline the round restarts.
+    Backoff,
+}
+
+/// Election round state.
+#[derive(Debug)]
+pub(crate) struct ElectState {
+    /// Our bid value (random for standbys, journal sn for juniors).
+    pub bid: u64,
+    pub stage: ElectStage,
+}
+
+/// One MAMS replica-group member.
+pub struct MdsServer {
+    pub(crate) cfg: MdsConfig,
+    pub(crate) coord: CoordClient,
+    pub(crate) role: Role,
+    /// Fencing epoch from our lock grant (valid when Active/Upgrading).
+    pub(crate) epoch: Epoch,
+    /// Highest group epoch observed (stale-active hygiene).
+    pub(crate) group_epoch: Epoch,
+    pub(crate) active_hint: Option<NodeId>,
+
+    pub(crate) ns: NamespaceTree,
+    pub(crate) blocks: BlockMap,
+    pub(crate) log: JournalLog,
+    pub(crate) cursor: ReplayCursor,
+    /// Out-of-order sync buffer (drained contiguously into the cursor).
+    pub(crate) stash: BTreeMap<Sn, JournalBatch>,
+    pub(crate) next_txid: TxnId,
+    /// Next block id to allocate (replay advances it past any seen id).
+    pub(crate) next_block_id: u64,
+
+    /// View cache maintained from watch events.
+    pub(crate) view: HashMap<String, String>,
+
+    // ---- active-side state ----
+    pub(crate) pending: Vec<PendingOp>,
+    pub(crate) inflight: BTreeMap<Sn, Inflight>,
+    pub(crate) standbys: BTreeSet<NodeId>,
+    pub(crate) member_sns: HashMap<NodeId, Sn>,
+    pub(crate) retry_cache: crate::retry::RetryCache,
+    /// Step-3 buffer: client requests received mid-upgrade.
+    pub(crate) buffered: Vec<(NodeId, MdsReq)>,
+    pub(crate) renew_driver: Option<RenewDriver>,
+    /// As coordinator: xid → the batch sn whose replies wait on it.
+    pub(crate) xg_to_sn: HashMap<(u32, u64), Sn>,
+    /// As participant: xids already applied (duplicate suppression).
+    pub(crate) xg_seen: HashSet<(u32, u64)>,
+    /// As coordinator: legs still outstanding per xid (retried until every
+    /// group acknowledges, so a mid-failover group cannot jam the
+    /// in-order reply pipeline).
+    pub(crate) xg_outstanding: HashMap<(u32, u64), XgOutstanding>,
+    pub(crate) next_xid: u64,
+
+    // ---- member-side state ----
+    pub(crate) registered: bool,
+    /// Whether the boot-time lock attempt (designated active) was made.
+    pub(crate) boot_lock_tried: bool,
+    pub(crate) catchup: Option<Catchup>,
+    pub(crate) elect: Option<ElectState>,
+
+    /// Admission queue (CPU capacity model).
+    pub(crate) ingress: crate::ingress::Ingress,
+
+    // ---- pool plumbing ----
+    pub(crate) pool_pending: HashMap<ReqId, PoolCtx>,
+    pub(crate) next_pool_req: ReqId,
+    pub(crate) pool_rr: usize,
+
+    /// Whether a gap-repair timer is armed (lost-sync recovery).
+    pub(crate) gap_repair_armed: bool,
+
+    // ---- measurement hooks ----
+    /// When we observed the previous active disappear (drives the Figure 7
+    /// stage breakdown).
+    pub(crate) failure_seen_at: Option<SimTime>,
+    /// Replay-divergence counter; must stay 0 in a correct deployment.
+    pub(crate) divergences: u64,
+}
+
+impl MdsServer {
+    pub fn new(cfg: MdsConfig) -> Self {
+        let coord = CoordClient::new(cfg.coord, cfg.timing.heartbeat);
+        let role = match cfg.initial_role {
+            InitialRole::Active => Role::Standby, // becomes Active via the lock
+            InitialRole::Standby => Role::Standby,
+            InitialRole::Junior => Role::Junior,
+        };
+        MdsServer {
+            cfg,
+            coord,
+            role,
+            epoch: 0,
+            group_epoch: 0,
+            active_hint: None,
+            ns: NamespaceTree::new(),
+            blocks: BlockMap::new(),
+            log: JournalLog::new(),
+            cursor: ReplayCursor::new(),
+            stash: BTreeMap::new(),
+            next_txid: 1,
+            next_block_id: 1,
+            view: HashMap::new(),
+            pending: Vec::new(),
+            inflight: BTreeMap::new(),
+            standbys: BTreeSet::new(),
+            member_sns: HashMap::new(),
+            retry_cache: crate::retry::RetryCache::new(),
+            buffered: Vec::new(),
+            renew_driver: None,
+            xg_to_sn: HashMap::new(),
+            xg_seen: HashSet::new(),
+            xg_outstanding: HashMap::new(),
+            next_xid: 1,
+            registered: false,
+            boot_lock_tried: false,
+            catchup: None,
+            elect: None,
+            ingress: crate::ingress::Ingress::default(),
+            pool_pending: HashMap::new(),
+            next_pool_req: 1,
+            pool_rr: 0,
+            gap_repair_armed: false,
+            failure_seen_at: None,
+            divergences: 0,
+        }
+    }
+
+    /// Current role (test/harness hook).
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Applied journal position (test/harness hook).
+    pub fn applied_sn(&self) -> Sn {
+        self.cursor.max_sn()
+    }
+
+    /// Namespace fingerprint (test hook).
+    pub fn fingerprint(&self) -> u64 {
+        self.ns.fingerprint()
+    }
+
+    /// Replay divergences observed (test hook; must be 0).
+    pub fn divergences(&self) -> u64 {
+        self.divergences + self.ns.divergences()
+    }
+
+    // ---------------------------------------------------------------- pool
+
+    /// Send a pool request (round-robin across pool nodes), remembering why.
+    pub(crate) fn pool_send(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        build: impl FnOnce(ReqId) -> PoolReq,
+        why: PoolCtx,
+    ) -> ReqId {
+        let req = self.next_pool_req;
+        self.next_pool_req += 1;
+        self.pool_pending.insert(req, why);
+        let target = self.cfg.pool[self.pool_rr % self.cfg.pool.len()];
+        self.pool_rr += 1;
+        ctx.send(target, build(req));
+        req
+    }
+
+    // ------------------------------------------------------------- journal
+
+    /// Apply a batch's records to the namespace + block map and advance the
+    /// txid high-water mark. Caller is responsible for cursor bookkeeping.
+    fn apply_records(&mut self, batch: &JournalBatch) {
+        for (txid, txn) in batch.entries() {
+            if let Txn::AddBlock { block_id, len, .. } = txn {
+                self.blocks.register(*block_id, *len);
+                self.next_block_id = self.next_block_id.max(*block_id + 1);
+            }
+            if self.ns.apply(txn).is_err() {
+                // Journaled transactions were validated before logging, so
+                // failure to re-apply means replica divergence.
+                self.divergences += 1;
+            }
+            self.next_txid = self.next_txid.max(txid + 1);
+        }
+    }
+
+    /// Ingest a batch from any source (live sync, re-flush, renewing, pool
+    /// catch-up): stash, then drain contiguously through the cursor.
+    /// Returns the highest sn applied by this call, if any.
+    ///
+    /// A non-empty stash after draining means a batch went missing on the
+    /// wire; the caller should arm gap repair (`arm_gap_repair`).
+    pub(crate) fn ingest_batch(&mut self, batch: JournalBatch) -> Option<Sn> {
+        if batch.sn <= self.cursor.max_sn() {
+            return None; // duplicate: suppressed by sn comparison
+        }
+        self.stash.insert(batch.sn, batch);
+        let mut last = None;
+        while let Some(next) = self.stash.remove(&(self.cursor.max_sn() + 1)) {
+            self.apply_records(&next);
+            // Keep a local copy of the log (standbys serve renewing reads
+            // and may become the active).
+            let _ = self.log.append(next.clone());
+            self.cursor = ReplayCursor::at(next.sn);
+            last = Some(next.sn);
+        }
+        last
+    }
+
+    /// Discard every bit of replicated state (a divergent member resetting
+    /// to junior, per step 5 of the switch when sn values cannot match).
+    pub(crate) fn reset_replica_state(&mut self) {
+        self.ns = NamespaceTree::new();
+        self.log = JournalLog::new();
+        self.cursor = ReplayCursor::new();
+        self.stash.clear();
+        self.next_txid = 1;
+        self.next_block_id = 1;
+        // Block locations are rebuilt by the periodic reports.
+        self.blocks = BlockMap::new();
+    }
+
+    // ---------------------------------------------------------------- view
+
+    pub(crate) fn view_set(&mut self, key: String, value: Option<String>) {
+        match value {
+            Some(v) => {
+                self.view.insert(key, v);
+            }
+            None => {
+                self.view.remove(&key);
+            }
+        }
+    }
+
+    /// Node ids of members currently in state `letter` per our view cache.
+    pub(crate) fn members_in_state(&self, letter: &str) -> Vec<NodeId> {
+        let prefix = format!("g/{}/state/", self.cfg.group);
+        let mut v: Vec<NodeId> = self
+            .view
+            .iter()
+            .filter(|(k, val)| k.starts_with(&prefix) && val.as_str() == letter)
+            .filter_map(|(k, _)| k[prefix.len()..].parse().ok())
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The active for an arbitrary group, per our view cache (distributed
+    /// transactions route through this).
+    pub(crate) fn active_of_group(&self, group: u32) -> Option<NodeId> {
+        self.view.get(&crate::view::keys::active(group)).and_then(|v| crate::view::decode_node(v))
+    }
+}
+
+impl Node for MdsServer {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // Open the session; the state announcement and (for the designated
+        // active) the boot lock attempt are sequenced behind the
+        // `Registered` response because coordination messages may reorder.
+        self.coord.start(ctx);
+        self.coord.watch(ctx, crate::view::keys::all_groups());
+        ctx.set_timer(self.cfg.timing.flush_interval, T_FLUSH);
+        ctx.set_timer(self.cfg.timing.renew_scan, T_RENEW_SCAN);
+        ctx.set_timer(self.cfg.timing.register_retry, T_REGISTER);
+        ctx.set_timer(self.cfg.timing.register_retry.mul_f64(2.0), T_XG_RETRY);
+        ctx.set_timer(self.cfg.timing.register_retry.mul_f64(0.4), T_POOL_RETRY);
+        ctx.set_timer(Duration::from_secs(1), T_VIEW_REFRESH);
+        if let Some(interval) = self.cfg.timing.checkpoint_interval {
+            ctx.set_timer(interval, T_CHECKPOINT);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if self.coord.on_timer(ctx, token) {
+            return;
+        }
+        match token {
+            T_FLUSH => {
+                if self.role == Role::Active {
+                    let budget = self.cfg.timing.flush_interval;
+                    let mut cpu = self.cfg.timing.cpu;
+                    // Journal fan-out: every mutation is serialized and
+                    // sent to each hot standby.
+                    cpu.mutation += self
+                            .cfg
+                            .timing
+                            .sync_cpu_per_standby
+                            .mul_f64(self.standbys.len() as f64);
+                    for item in self.ingress.drain(budget, cpu) {
+                        match item {
+                            crate::ingress::IngressItem::Client { from, op, seq } => {
+                                self.serve_op(ctx, from, op, seq)
+                            }
+                            crate::ingress::IngressItem::Leg { coordinator, xid, op } => {
+                                self.serve_leg(ctx, coordinator, xid, op)
+                            }
+                        }
+                    }
+                    self.flush_batch(ctx);
+                }
+                ctx.set_timer(self.cfg.timing.flush_interval, T_FLUSH);
+            }
+            T_RENEW_SCAN => {
+                if self.role == Role::Active {
+                    self.renew_scan(ctx);
+                }
+                ctx.set_timer(self.cfg.timing.renew_scan, T_RENEW_SCAN);
+            }
+            T_ELECT => self.election_window_closed(ctx),
+            T_REGISTER => {
+                self.maybe_register(ctx);
+                ctx.set_timer(self.cfg.timing.register_retry, T_REGISTER);
+            }
+            T_XG_RETRY => {
+                if self.role == Role::Active {
+                    self.retry_xg_legs(ctx);
+                }
+                ctx.set_timer(self.cfg.timing.register_retry.mul_f64(2.0), T_XG_RETRY);
+            }
+            T_GAP_REPAIR => self.gap_repair_fired(ctx),
+            T_POOL_RETRY => {
+                if self.role == Role::Active {
+                    self.retry_pool_appends(ctx);
+                }
+                ctx.set_timer(self.cfg.timing.register_retry.mul_f64(0.4), T_POOL_RETRY);
+            }
+            T_VIEW_REFRESH => {
+                // Watch events are fire-and-forget; a periodic listing heals
+                // any lost ones (stale routing, missed failure detection,
+                // lost view updates).
+                self.coord.list(ctx, crate::view::keys::all_groups());
+                ctx.set_timer(Duration::from_secs(1), T_VIEW_REFRESH);
+            }
+            T_CHECKPOINT => {
+                if let Some(interval) = self.cfg.timing.checkpoint_interval {
+                    if self.role == Role::Active {
+                        self.start_checkpoint(ctx);
+                    }
+                    ctx.set_timer(interval, T_CHECKPOINT);
+                }
+            }
+            T_UPGRADE_RETRY
+                if self.role == Role::Upgrading => {
+                    // A pool reply went missing mid-switch; the sequence is
+                    // idempotent, so run it again from the fencing step.
+                    ctx.trace("failover.upgrade_retry", String::new);
+                    let epoch = self.epoch;
+                    self.begin_upgrade(ctx, epoch);
+                }
+            _ => {}
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Message) {
+        // Coordination traffic first.
+        let msg = match CoordClient::classify(msg) {
+            Ok(incoming) => {
+                match incoming {
+                    Incoming::Resp(resp) => self.on_coord_resp(ctx, resp),
+                    Incoming::Event(ev) => self.on_coord_event(ctx, ev),
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        // Pool responses.
+        let msg = match msg.downcast::<PoolResp>() {
+            Ok(resp) => {
+                self.on_pool_resp(ctx, resp);
+                return;
+            }
+            Err(m) => m,
+        };
+        // Intra-group protocol.
+        let msg = match msg.downcast::<GroupMsg>() {
+            Ok(gm) => {
+                self.on_group_msg(ctx, from, gm);
+                return;
+            }
+            Err(m) => m,
+        };
+        // Client requests.
+        if let Ok(req) = msg.downcast::<MdsReq>() {
+            self.on_client_req(ctx, from, req);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Binary journal encoding.
+//!
+//! The SSP stores journal segments as sequential shared files; this module
+//! defines the record format: a fixed header (`magic`, `version`, `sn`,
+//! `first_txid`, record count), length-prefixed records, and a trailing
+//! FNV-1a-64 checksum so a torn or corrupted write is detected on replay.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::txn::{JournalBatch, Txn};
+
+/// Format magic: "MAMSJRNL" truncated to 4 bytes.
+pub const MAGIC: u32 = 0x4d4a_524e;
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    BadMagic(u32),
+    BadVersion(u16),
+    Truncated,
+    BadChecksum { stored: u64, computed: u64 },
+    BadTag(u8),
+    BadUtf8,
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::BadMagic(m) => write!(f, "bad journal magic {m:#x}"),
+            EncodeError::BadVersion(v) => write!(f, "unsupported journal version {v}"),
+            EncodeError::Truncated => write!(f, "truncated journal batch"),
+            EncodeError::BadChecksum { stored, computed } => {
+                write!(f, "journal checksum mismatch: stored {stored:#x}, computed {computed:#x}")
+            }
+            EncodeError::BadTag(t) => write!(f, "unknown transaction tag {t}"),
+            EncodeError::BadUtf8 => write!(f, "non-UTF-8 path in journal record"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u16(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, EncodeError> {
+    if buf.remaining() < 2 {
+        return Err(EncodeError::Truncated);
+    }
+    let len = buf.get_u16() as usize;
+    if buf.remaining() < len {
+        return Err(EncodeError::Truncated);
+    }
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| EncodeError::BadUtf8)
+}
+
+fn put_txn(buf: &mut BytesMut, t: &Txn) {
+    buf.put_u8(t.tag());
+    match t {
+        Txn::Create { path, replication } => {
+            put_str(buf, path);
+            buf.put_u8(*replication);
+        }
+        Txn::Mkdir { path } => put_str(buf, path),
+        Txn::Delete { path, recursive } => {
+            put_str(buf, path);
+            buf.put_u8(*recursive as u8);
+        }
+        Txn::Rename { src, dst } => {
+            put_str(buf, src);
+            put_str(buf, dst);
+        }
+        Txn::AddBlock { path, block_id, len } => {
+            put_str(buf, path);
+            buf.put_u64(*block_id);
+            buf.put_u32(*len);
+        }
+        Txn::CloseFile { path } => put_str(buf, path),
+        Txn::SetPerm { path, perm } => {
+            put_str(buf, path);
+            buf.put_u16(*perm);
+        }
+    }
+}
+
+fn get_txn(buf: &mut Bytes) -> Result<Txn, EncodeError> {
+    if buf.remaining() < 1 {
+        return Err(EncodeError::Truncated);
+    }
+    let tag = buf.get_u8();
+    Ok(match tag {
+        1 => {
+            let path = get_str(buf)?;
+            if buf.remaining() < 1 {
+                return Err(EncodeError::Truncated);
+            }
+            Txn::Create { path, replication: buf.get_u8() }
+        }
+        2 => Txn::Mkdir { path: get_str(buf)? },
+        3 => {
+            let path = get_str(buf)?;
+            if buf.remaining() < 1 {
+                return Err(EncodeError::Truncated);
+            }
+            Txn::Delete { path, recursive: buf.get_u8() != 0 }
+        }
+        4 => Txn::Rename { src: get_str(buf)?, dst: get_str(buf)? },
+        5 => {
+            let path = get_str(buf)?;
+            if buf.remaining() < 12 {
+                return Err(EncodeError::Truncated);
+            }
+            Txn::AddBlock { path, block_id: buf.get_u64(), len: buf.get_u32() }
+        }
+        6 => Txn::CloseFile { path: get_str(buf)? },
+        7 => {
+            let path = get_str(buf)?;
+            if buf.remaining() < 2 {
+                return Err(EncodeError::Truncated);
+            }
+            Txn::SetPerm { path, perm: buf.get_u16() }
+        }
+        t => return Err(EncodeError::BadTag(t)),
+    })
+}
+
+/// Encode a batch into its on-disk/wire bytes.
+pub fn encode_batch(batch: &JournalBatch) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + batch.records.len() * 48);
+    buf.put_u32(MAGIC);
+    buf.put_u16(VERSION);
+    buf.put_u64(batch.sn);
+    buf.put_u64(batch.first_txid);
+    buf.put_u32(batch.records.len() as u32);
+    for t in &batch.records {
+        put_txn(&mut buf, t);
+    }
+    let sum = fnv1a64(&buf);
+    buf.put_u64(sum);
+    buf.freeze()
+}
+
+/// Decode a batch, verifying magic, version and checksum.
+pub fn decode_batch(data: Bytes) -> Result<JournalBatch, EncodeError> {
+    if data.remaining() < 8 {
+        return Err(EncodeError::Truncated);
+    }
+    let body_len = data.remaining() - 8;
+    let body = data.slice(..body_len);
+    let stored = {
+        let mut tail = data.slice(body_len..);
+        tail.get_u64()
+    };
+    let computed = fnv1a64(&body);
+    if stored != computed {
+        return Err(EncodeError::BadChecksum { stored, computed });
+    }
+    let mut buf = body;
+    if buf.remaining() < 4 + 2 + 8 + 8 + 4 {
+        return Err(EncodeError::Truncated);
+    }
+    let magic = buf.get_u32();
+    if magic != MAGIC {
+        return Err(EncodeError::BadMagic(magic));
+    }
+    let version = buf.get_u16();
+    if version != VERSION {
+        return Err(EncodeError::BadVersion(version));
+    }
+    let sn = buf.get_u64();
+    let first_txid = buf.get_u64();
+    let n = buf.get_u32() as usize;
+    let mut records = Vec::with_capacity(n);
+    for _ in 0..n {
+        records.push(get_txn(&mut buf)?);
+    }
+    Ok(JournalBatch { sn, first_txid, records })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_batch() -> JournalBatch {
+        JournalBatch::new(
+            3,
+            40,
+            vec![
+                Txn::Create { path: "/dir/file-α".into(), replication: 3 },
+                Txn::Mkdir { path: "/dir/sub".into() },
+                Txn::Delete { path: "/old".into(), recursive: true },
+                Txn::Rename { src: "/a".into(), dst: "/b".into() },
+                Txn::AddBlock { path: "/dir/file-α".into(), block_id: 99, len: 4096 },
+                Txn::CloseFile { path: "/dir/file-α".into() },
+                Txn::SetPerm { path: "/dir".into(), perm: 0o750 },
+            ],
+        )
+    }
+
+    #[test]
+    fn round_trip_all_variants() {
+        let b = sample_batch();
+        let enc = encode_batch(&b);
+        let dec = decode_batch(enc).unwrap();
+        assert_eq!(dec, b);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let b = sample_batch();
+        let enc = encode_batch(&b);
+        for i in [0usize, 6, enc.len() / 2, enc.len() - 1] {
+            let mut bad = enc.to_vec();
+            bad[i] ^= 0xff;
+            let err = decode_batch(Bytes::from(bad)).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    EncodeError::BadChecksum { .. }
+                        | EncodeError::BadMagic(_)
+                        | EncodeError::BadVersion(_)
+                ),
+                "unexpected error at byte {i}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let enc = encode_batch(&sample_batch());
+        for cut in [0usize, 4, 7, 20, enc.len() - 9] {
+            let err = decode_batch(enc.slice(..cut)).unwrap_err();
+            assert!(
+                matches!(err, EncodeError::Truncated | EncodeError::BadChecksum { .. }),
+                "cut={cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = EncodeError::BadChecksum { stored: 1, computed: 2 };
+        assert!(format!("{e}").contains("checksum"));
+        assert!(format!("{}", EncodeError::BadTag(9)).contains("tag 9"));
+    }
+}

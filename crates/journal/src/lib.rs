@@ -1,0 +1,28 @@
+//! # mams-journal — edit-log transactions, batches, and replay
+//!
+//! The MAMS active serializes every namespace mutation into a journal. Log
+//! records are grouped into batches described by the pair `⟨sn, txid⟩`
+//! (Section III-A of the paper): `sn` is a monotonically increasing serial
+//! number assigned by the active when it writes journals, and `txid` numbers
+//! individual transactions. Standbys replay batches to stay hot; juniors
+//! compare `sn` values to discover how far behind they are; the failover
+//! protocol suppresses duplicate batches by comparing `sn` (step 4 of the
+//! active-standby switch).
+//!
+//! This crate owns:
+//! * [`Txn`] — the namespace operation vocabulary,
+//! * [`JournalBatch`] — a `⟨sn, txid⟩`-described group of records,
+//! * [`encode`] — a compact binary wire/disk format with checksums,
+//! * [`JournalLog`] — an in-memory segment enforcing sn contiguity and
+//!   idempotent appends,
+//! * [`ReplayCursor`] — duplicate-suppressing batch application.
+
+pub mod cursor;
+pub mod encode;
+pub mod log;
+pub mod txn;
+
+pub use cursor::{Apply, ReplayCursor, ReplayOutcome};
+pub use encode::{decode_batch, encode_batch, EncodeError};
+pub use log::{AppendOutcome, JournalError, JournalLog};
+pub use txn::{JournalBatch, Sn, Txn, TxnId};

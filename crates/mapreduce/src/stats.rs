@@ -1,0 +1,108 @@
+//! Per-task completion records for the Figure 9 CDFs.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Completion timestamps (µs of virtual time), one entry per finished task.
+#[derive(Debug, Default)]
+pub struct JobStats {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    started: Option<u64>,
+    maps_done: Vec<u64>,
+    reduces_done: Vec<u64>,
+    job_done: Option<u64>,
+}
+
+impl JobStats {
+    pub fn new() -> Arc<Self> {
+        Arc::new(JobStats::default())
+    }
+
+    pub fn job_started(&self, at_us: u64) {
+        self.inner.lock().started = Some(at_us);
+    }
+
+    pub fn started_at(&self) -> Option<u64> {
+        self.inner.lock().started
+    }
+
+    pub fn map_done(&self, at_us: u64) {
+        self.inner.lock().maps_done.push(at_us);
+    }
+
+    pub fn reduce_done(&self, at_us: u64) {
+        self.inner.lock().reduces_done.push(at_us);
+    }
+
+    pub fn job_done(&self, at_us: u64) {
+        self.inner.lock().job_done = Some(at_us);
+    }
+
+    pub fn maps_done(&self) -> Vec<u64> {
+        let mut v = self.inner.lock().maps_done.clone();
+        v.sort_unstable();
+        v
+    }
+
+    pub fn reduces_done(&self) -> Vec<u64> {
+        let mut v = self.inner.lock().reduces_done.clone();
+        v.sort_unstable();
+        v
+    }
+
+    pub fn job_done_at(&self) -> Option<u64> {
+        self.inner.lock().job_done
+    }
+
+    /// CDF points `(time_us, fraction_complete)` for a completion list.
+    pub fn cdf(times: &[u64]) -> Vec<(u64, f64)> {
+        let n = times.len();
+        times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, (i + 1) as f64 / n as f64))
+            .collect()
+    }
+
+    /// Time (µs) at which `frac` of the tasks had completed.
+    pub fn quantile(times: &[u64], frac: f64) -> Option<u64> {
+        if times.is_empty() {
+            return None;
+        }
+        let idx = ((times.len() as f64 * frac).ceil() as usize).clamp(1, times.len());
+        Some(times[idx - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_sorts() {
+        let s = JobStats::new();
+        s.map_done(30);
+        s.map_done(10);
+        s.reduce_done(99);
+        s.job_done(100);
+        assert_eq!(s.maps_done(), vec![10, 30]);
+        assert_eq!(s.reduces_done(), vec![99]);
+        assert_eq!(s.job_done_at(), Some(100));
+    }
+
+    #[test]
+    fn cdf_and_quantiles() {
+        let times = vec![10, 20, 30, 40];
+        let cdf = JobStats::cdf(&times);
+        assert_eq!(cdf.first(), Some(&(10, 0.25)));
+        assert_eq!(cdf.last(), Some(&(40, 1.0)));
+        assert_eq!(JobStats::quantile(&times, 0.5), Some(20));
+        assert_eq!(JobStats::quantile(&times, 1.0), Some(40));
+        assert_eq!(JobStats::quantile(&[], 0.5), None);
+    }
+}

@@ -1,0 +1,110 @@
+//! Inodes: the nodes of the namespace tree.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Dense inode identifier, unique within one namespace tree.
+pub type InodeId = u64;
+
+/// Root inode id (always present).
+pub const ROOT_ID: InodeId = 0;
+
+/// Default permission bits for new files/directories.
+pub const DEFAULT_PERM: u16 = 0o755;
+
+/// A node of the namespace tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Inode {
+    Directory {
+        /// Child name → inode id, kept sorted for deterministic iteration
+        /// and image encoding.
+        children: BTreeMap<String, InodeId>,
+        perm: u16,
+    },
+    File {
+        /// Block ids in file order.
+        blocks: Vec<u64>,
+        /// Target replication factor.
+        replication: u8,
+        /// Whether the file is sealed (no more blocks may be added).
+        sealed: bool,
+        perm: u16,
+    },
+}
+
+impl Inode {
+    pub fn new_dir() -> Inode {
+        Inode::Directory { children: BTreeMap::new(), perm: DEFAULT_PERM }
+    }
+
+    pub fn new_file(replication: u8) -> Inode {
+        Inode::File { blocks: Vec::new(), replication, sealed: false, perm: DEFAULT_PERM }
+    }
+
+    pub fn is_dir(&self) -> bool {
+        matches!(self, Inode::Directory { .. })
+    }
+
+    pub fn is_file(&self) -> bool {
+        matches!(self, Inode::File { .. })
+    }
+
+    pub fn perm(&self) -> u16 {
+        match self {
+            Inode::Directory { perm, .. } | Inode::File { perm, .. } => *perm,
+        }
+    }
+
+    pub fn set_perm(&mut self, p: u16) {
+        match self {
+            Inode::Directory { perm, .. } | Inode::File { perm, .. } => *perm = p,
+        }
+    }
+}
+
+/// The answer to `getfileinfo`: a snapshot of one inode's metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileInfo {
+    pub path: String,
+    pub is_dir: bool,
+    /// Block ids (empty for directories).
+    pub blocks: Vec<u64>,
+    pub replication: u8,
+    pub sealed: bool,
+    pub perm: u16,
+    /// Number of children (directories only).
+    pub child_count: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_kind_checks() {
+        let d = Inode::new_dir();
+        assert!(d.is_dir() && !d.is_file());
+        let f = Inode::new_file(3);
+        assert!(f.is_file() && !f.is_dir());
+        match f {
+            Inode::File { replication, sealed, blocks, .. } => {
+                assert_eq!(replication, 3);
+                assert!(!sealed);
+                assert!(blocks.is_empty());
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn perm_round_trip() {
+        let mut f = Inode::new_file(1);
+        assert_eq!(f.perm(), DEFAULT_PERM);
+        f.set_perm(0o600);
+        assert_eq!(f.perm(), 0o600);
+        let mut d = Inode::new_dir();
+        d.set_perm(0o700);
+        assert_eq!(d.perm(), 0o700);
+    }
+}

@@ -1,0 +1,26 @@
+//! # mams-namespace — the metadata server's in-memory file system state
+//!
+//! A CFS/HDFS-style namespace: an inode tree of directories and files, the
+//! metadata operations the paper benchmarks (`create`, `mkdir`, `delete`,
+//! `rename`, `getfileinfo`), hash-based namespace partitioning across
+//! multiple actives (Section III-A: "Hash-based methods are adopted for
+//! namespace partitioning and metadata distribution"), namespace images
+//! (checkpoints juniors load during renewing), and the block-location map
+//! that data servers keep fresh on actives *and* standbys.
+//!
+//! Mutations are driven by [`mams_journal::Txn`] records so that live
+//! execution on the active and journal replay on a standby run the exact
+//! same code — the replay-determinism invariant the property tests check.
+
+pub mod blocks;
+pub mod image;
+pub mod inode;
+pub mod partition;
+pub mod path;
+pub mod tree;
+
+pub use blocks::{BlockInfo, BlockMap};
+pub use image::{decode_image, encode_image, ImageError, NamespaceImage};
+pub use inode::{FileInfo, Inode, InodeId};
+pub use partition::Partitioner;
+pub use tree::{NamespaceTree, NsError};

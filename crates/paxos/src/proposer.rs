@@ -1,0 +1,245 @@
+//! The proposer: drives one instance to a decision.
+
+use std::collections::BTreeSet;
+
+use crate::acceptor::{AcceptReply, PrepareReply};
+use crate::ballot::Ballot;
+use crate::messages::Value;
+
+/// What the caller should do next after feeding a reply in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProposerEvent {
+    /// Keep waiting for more replies.
+    Pending,
+    /// Phase 1 reached quorum: broadcast `Accept { ballot, value }`.
+    SendAccepts { ballot: Ballot, value: Value },
+    /// Phase 2 reached quorum: `value` is chosen.
+    Chosen { ballot: Ballot, value: Value },
+    /// Preempted by a higher ballot; retry with a ballot above `above`.
+    Preempted { above: Ballot },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Preparing,
+    Accepting,
+    Done,
+}
+
+/// Single-instance proposer state machine.
+///
+/// The caller owns message delivery: it broadcasts `Prepare`, feeds each
+/// acceptor's reply through [`Proposer::on_prepare_reply`] /
+/// [`Proposer::on_accept_reply`], and acts on the returned event.
+#[derive(Debug, Clone)]
+pub struct Proposer {
+    me: u32,
+    n_acceptors: usize,
+    ballot: Ballot,
+    /// The value we want if no acceptor has accepted anything yet.
+    initial_value: Value,
+    /// The value phase 2 will actually propose (possibly adopted).
+    value: Value,
+    /// Highest accepted ballot seen in promises (its value must be adopted).
+    max_seen: Option<Ballot>,
+    promised_from: BTreeSet<u32>,
+    accepted_from: BTreeSet<u32>,
+    phase: Phase,
+}
+
+impl Proposer {
+    /// Start an instance at `ballot` proposing `value`.
+    pub fn new(me: u32, n_acceptors: usize, ballot: Ballot, value: Value) -> Self {
+        assert!(n_acceptors >= 1);
+        assert_eq!(ballot.proposer, me, "ballot must belong to the proposer");
+        Proposer {
+            me,
+            n_acceptors,
+            ballot,
+            initial_value: value.clone(),
+            value,
+            max_seen: None,
+            promised_from: BTreeSet::new(),
+            accepted_from: BTreeSet::new(),
+            phase: Phase::Preparing,
+        }
+    }
+
+    pub fn ballot(&self) -> Ballot {
+        self.ballot
+    }
+
+    fn quorum(&self) -> usize {
+        self.n_acceptors / 2 + 1
+    }
+
+    /// Restart with a higher ballot after preemption, re-proposing the
+    /// original value.
+    pub fn retry_above(&self, above: Ballot) -> Proposer {
+        let ballot = above.max(self.ballot).next_for(self.me);
+        Proposer::new(self.me, self.n_acceptors, ballot, self.initial_value.clone())
+    }
+
+    /// Feed in acceptor `from`'s phase-1 reply.
+    pub fn on_prepare_reply(&mut self, from: u32, reply: PrepareReply) -> ProposerEvent {
+        if self.phase != Phase::Preparing {
+            return ProposerEvent::Pending;
+        }
+        match reply {
+            PrepareReply::Nack { promised } if promised > self.ballot => {
+                self.phase = Phase::Done;
+                ProposerEvent::Preempted { above: promised }
+            }
+            PrepareReply::Nack { .. } => ProposerEvent::Pending,
+            PrepareReply::Promise { ballot, accepted } => {
+                if ballot != self.ballot {
+                    return ProposerEvent::Pending; // stale reply
+                }
+                if let Some((abal, aval)) = accepted {
+                    if self.max_seen.is_none_or(|m| abal > m) {
+                        self.max_seen = Some(abal);
+                        self.value = aval;
+                    }
+                }
+                self.promised_from.insert(from);
+                if self.promised_from.len() >= self.quorum() {
+                    self.phase = Phase::Accepting;
+                    ProposerEvent::SendAccepts { ballot: self.ballot, value: self.value.clone() }
+                } else {
+                    ProposerEvent::Pending
+                }
+            }
+        }
+    }
+
+    /// Feed in acceptor `from`'s phase-2 reply.
+    pub fn on_accept_reply(&mut self, from: u32, reply: AcceptReply) -> ProposerEvent {
+        if self.phase != Phase::Accepting {
+            return ProposerEvent::Pending;
+        }
+        match reply {
+            AcceptReply::Nack { promised } if promised > self.ballot => {
+                self.phase = Phase::Done;
+                ProposerEvent::Preempted { above: promised }
+            }
+            AcceptReply::Nack { .. } => ProposerEvent::Pending,
+            AcceptReply::Accepted { ballot } => {
+                if ballot != self.ballot {
+                    return ProposerEvent::Pending; // stale reply
+                }
+                self.accepted_from.insert(from);
+                if self.accepted_from.len() >= self.quorum() {
+                    self.phase = Phase::Done;
+                    ProposerEvent::Chosen { ballot: self.ballot, value: self.value.clone() }
+                } else {
+                    ProposerEvent::Pending
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acceptor::Acceptor;
+    use bytes::Bytes;
+
+    fn v(s: &str) -> Value {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    /// Drive a full round against real acceptors; returns the chosen value.
+    fn run_round(acceptors: &mut [Acceptor], me: u32, round: u64, val: &str) -> Option<Value> {
+        let ballot = Ballot::new(round, me);
+        let mut p = Proposer::new(me, acceptors.len(), ballot, v(val));
+        let mut accept_req = None;
+        for (i, a) in acceptors.iter_mut().enumerate() {
+            let reply = a.on_prepare(ballot);
+            match p.on_prepare_reply(i as u32, reply) {
+                ProposerEvent::SendAccepts { ballot, value } => {
+                    accept_req = Some((ballot, value));
+                    break;
+                }
+                ProposerEvent::Preempted { .. } => return None,
+                _ => {}
+            }
+        }
+        let (ballot, value) = accept_req?;
+        for (i, a) in acceptors.iter_mut().enumerate() {
+            let reply = a.on_accept(ballot, value.clone());
+            match p.on_accept_reply(i as u32, reply) {
+                ProposerEvent::Chosen { value, .. } => return Some(value),
+                ProposerEvent::Preempted { .. } => return None,
+                _ => {}
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn uncontended_round_chooses_own_value() {
+        let mut acceptors = vec![Acceptor::new(); 3];
+        let chosen = run_round(&mut acceptors, 1, 1, "alpha").unwrap();
+        assert_eq!(chosen, v("alpha"));
+    }
+
+    #[test]
+    fn later_proposer_adopts_chosen_value() {
+        // Safety: once "alpha" is chosen, any later round must choose
+        // "alpha" again, never "beta".
+        let mut acceptors = vec![Acceptor::new(); 5];
+        let first = run_round(&mut acceptors, 1, 1, "alpha").unwrap();
+        assert_eq!(first, v("alpha"));
+        let second = run_round(&mut acceptors, 2, 2, "beta").unwrap();
+        assert_eq!(second, v("alpha"), "previously chosen value must win");
+    }
+
+    #[test]
+    fn preemption_reported() {
+        let mut acceptors = vec![Acceptor::new(); 3];
+        // Acceptors promise a high ballot first.
+        for a in acceptors.iter_mut() {
+            a.on_prepare(Ballot::new(10, 9));
+        }
+        assert!(run_round(&mut acceptors, 1, 1, "late").is_none());
+    }
+
+    #[test]
+    fn retry_above_picks_strictly_higher_ballot() {
+        let p = Proposer::new(1, 3, Ballot::new(1, 1), v("x"));
+        let p2 = p.retry_above(Ballot::new(7, 4));
+        assert!(p2.ballot() > Ballot::new(7, 4));
+        assert_eq!(p2.ballot().proposer, 1);
+    }
+
+    #[test]
+    fn minority_promises_do_not_advance() {
+        let mut p = Proposer::new(0, 5, Ballot::new(1, 0), v("x"));
+        let mut a = Acceptor::new();
+        let r = a.on_prepare(Ballot::new(1, 0));
+        assert_eq!(p.on_prepare_reply(0, r), ProposerEvent::Pending);
+        // Duplicate reply from the same acceptor must not double-count.
+        let mut a2 = Acceptor::new();
+        let r2 = a2.on_prepare(Ballot::new(1, 0));
+        assert_eq!(p.on_prepare_reply(0, r2), ProposerEvent::Pending);
+    }
+
+    #[test]
+    fn adopts_highest_ballot_value_among_promises() {
+        let mut p = Proposer::new(3, 3, Ballot::new(9, 3), v("mine"));
+        let old = PrepareReply::Promise {
+            ballot: Ballot::new(9, 3),
+            accepted: Some((Ballot::new(2, 0), v("old"))),
+        };
+        let newer = PrepareReply::Promise {
+            ballot: Ballot::new(9, 3),
+            accepted: Some((Ballot::new(5, 1), v("newer"))),
+        };
+        assert_eq!(p.on_prepare_reply(0, old), ProposerEvent::Pending);
+        match p.on_prepare_reply(1, newer) {
+            ProposerEvent::SendAccepts { value, .. } => assert_eq!(value, v("newer")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

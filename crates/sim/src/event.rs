@@ -1,0 +1,155 @@
+//! The simulation event queue.
+//!
+//! A strict total order over events — `(time, sequence)` with sequence
+//! numbers assigned at scheduling time — makes runs deterministic even when
+//! many events share a timestamp.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::node::{Message, NodeId};
+use crate::time::SimTime;
+
+/// What happens when an event fires.
+pub enum EventKind {
+    /// Deliver `msg` from `from` to node `dst`.
+    Deliver { from: NodeId, dst: NodeId, msg: Message },
+    /// Fire timer `timer_id` (token `token`) on `node`, valid only while the
+    /// node is still in incarnation `epoch`.
+    Timer { node: NodeId, epoch: u64, timer_id: u64, token: u64 },
+    /// Run an external control action against the whole simulation (fault
+    /// injection, measurements). Boxed so the queue stays homogeneous.
+    Control(Box<dyn FnOnce(&mut crate::world::Sim) + Send>),
+}
+
+impl std::fmt::Debug for EventKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EventKind::Deliver { from, dst, msg } => f
+                .debug_struct("Deliver")
+                .field("from", from)
+                .field("dst", dst)
+                .field("msg", msg)
+                .finish(),
+            EventKind::Timer { node, epoch, timer_id, token } => f
+                .debug_struct("Timer")
+                .field("node", node)
+                .field("epoch", epoch)
+                .field("timer_id", timer_id)
+                .field("token", token)
+                .finish(),
+            EventKind::Control(_) => f.write_str("Control(..)"),
+        }
+    }
+}
+
+/// A scheduled event.
+#[derive(Debug)]
+pub struct Event {
+    pub at: SimTime,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    /// Reversed so that `BinaryHeap` (a max-heap) pops the *earliest* event.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Priority queue of pending events, earliest first.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `kind` at absolute time `at`.
+    pub fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, kind });
+    }
+
+    /// Pop the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(node: NodeId) -> EventKind {
+        EventKind::Timer { node, epoch: 0, timer_id: 0, token: 0 }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(30), timer(3));
+        q.push(SimTime(10), timer(1));
+        q.push(SimTime(20), timer(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.0).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for node in 0..5 {
+            q.push(SimTime(7), timer(node));
+        }
+        let nodes: Vec<NodeId> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { node, .. } => node,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(nodes, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn peek_time_tracks_head() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime(5), timer(0));
+        q.push(SimTime(2), timer(0));
+        assert_eq!(q.peek_time(), Some(SimTime(2)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(SimTime(5)));
+    }
+}

@@ -1,0 +1,182 @@
+//! Network model: per-link latency, message loss, and partitions.
+//!
+//! The paper's Test B ("take out / plug back network wires", Table II and
+//! Figure 8b) is reproduced through [`Network::cut`] / [`Network::heal`] and
+//! [`Network::isolate`] / [`Network::rejoin`].
+
+use std::collections::HashSet;
+
+use crate::node::NodeId;
+use crate::rng::DetRng;
+use crate::time::Duration;
+
+/// How long a message takes from one node to another.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    /// Fixed one-way base latency.
+    pub base: Duration,
+    /// Additional uniformly distributed jitter in `[0, jitter]`.
+    pub jitter: Duration,
+}
+
+impl LatencyModel {
+    /// Gigabit-LAN profile used for the paper's 20-node testbed: ~100 µs
+    /// one-way plus small jitter.
+    pub fn lan() -> Self {
+        LatencyModel { base: Duration::from_micros(100), jitter: Duration::from_micros(50) }
+    }
+
+    /// Same-host loopback (co-located processes).
+    pub fn local() -> Self {
+        LatencyModel { base: Duration::from_micros(10), jitter: Duration::from_micros(5) }
+    }
+
+    /// Sample a one-way latency.
+    pub fn sample(&self, rng: &mut DetRng) -> Duration {
+        if self.jitter.micros() == 0 {
+            self.base
+        } else {
+            self.base + Duration::from_micros(rng.below(self.jitter.micros() + 1))
+        }
+    }
+}
+
+/// The cluster interconnect.
+#[derive(Debug)]
+pub struct Network {
+    default_latency: LatencyModel,
+    /// Unordered pairs (stored as (min,max)) whose link is cut.
+    cut_links: HashSet<(NodeId, NodeId)>,
+    /// Nodes whose NIC is unplugged entirely.
+    isolated: HashSet<NodeId>,
+    /// Independent per-message loss probability (0 by default: TCP-like
+    /// links; protocols still tolerate loss, exercised in tests).
+    loss_probability: f64,
+}
+
+impl Network {
+    pub fn new(default_latency: LatencyModel) -> Self {
+        Network {
+            default_latency,
+            cut_links: HashSet::new(),
+            isolated: HashSet::new(),
+            loss_probability: 0.0,
+        }
+    }
+
+    fn key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Cut the bidirectional link between `a` and `b`.
+    pub fn cut(&mut self, a: NodeId, b: NodeId) {
+        self.cut_links.insert(Self::key(a, b));
+    }
+
+    /// Restore the link between `a` and `b`.
+    pub fn heal(&mut self, a: NodeId, b: NodeId) {
+        self.cut_links.remove(&Self::key(a, b));
+    }
+
+    /// Unplug a node from the network entirely (Test B).
+    pub fn isolate(&mut self, n: NodeId) {
+        self.isolated.insert(n);
+    }
+
+    /// Plug the node's cable back in.
+    pub fn rejoin(&mut self, n: NodeId) {
+        self.isolated.remove(&n);
+    }
+
+    /// Remove all partitions.
+    pub fn heal_all(&mut self) {
+        self.cut_links.clear();
+        self.isolated.clear();
+    }
+
+    /// Set independent message-loss probability.
+    pub fn set_loss_probability(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "loss probability out of range");
+        self.loss_probability = p;
+    }
+
+    /// Whether a message from `a` can currently reach `b`.
+    pub fn connected(&self, a: NodeId, b: NodeId) -> bool {
+        !self.isolated.contains(&a)
+            && !self.isolated.contains(&b)
+            && !self.cut_links.contains(&Self::key(a, b))
+    }
+
+    /// Sample the fate of a message: `Some(latency)` to deliver, `None` to
+    /// drop (partitioned or lost).
+    pub fn route(&self, from: NodeId, to: NodeId, rng: &mut DetRng) -> Option<Duration> {
+        if !self.connected(from, to) {
+            return None;
+        }
+        if self.loss_probability > 0.0 && rng.chance(self.loss_probability) {
+            return None;
+        }
+        Some(self.default_latency.sample(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_within_bounds() {
+        let m = LatencyModel::lan();
+        let mut rng = DetRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let d = m.sample(&mut rng);
+            assert!(d >= m.base && d <= m.base + m.jitter);
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_constant() {
+        let m = LatencyModel { base: Duration::from_micros(42), jitter: Duration::ZERO };
+        let mut rng = DetRng::seed_from_u64(1);
+        assert_eq!(m.sample(&mut rng), Duration::from_micros(42));
+    }
+
+    #[test]
+    fn cut_and_heal_are_symmetric() {
+        let mut n = Network::new(LatencyModel::lan());
+        assert!(n.connected(1, 2));
+        n.cut(2, 1);
+        assert!(!n.connected(1, 2));
+        assert!(!n.connected(2, 1));
+        n.heal(1, 2);
+        assert!(n.connected(2, 1));
+    }
+
+    #[test]
+    fn isolation_blocks_all_traffic() {
+        let mut n = Network::new(LatencyModel::lan());
+        n.isolate(3);
+        assert!(!n.connected(3, 1));
+        assert!(!n.connected(1, 3));
+        assert!(n.connected(1, 2));
+        n.rejoin(3);
+        assert!(n.connected(3, 1));
+    }
+
+    #[test]
+    fn route_drops_on_partition_and_loss() {
+        let mut n = Network::new(LatencyModel::lan());
+        let mut rng = DetRng::seed_from_u64(9);
+        n.cut(1, 2);
+        assert!(n.route(1, 2, &mut rng).is_none());
+        n.heal_all();
+        n.set_loss_probability(1.0);
+        assert!(n.route(1, 2, &mut rng).is_none());
+        n.set_loss_probability(0.0);
+        assert!(n.route(1, 2, &mut rng).is_some());
+    }
+}

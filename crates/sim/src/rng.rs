@@ -1,0 +1,125 @@
+//! Deterministic randomness for the simulator.
+//!
+//! Every stochastic choice in an experiment — network jitter, election bids
+//! (Algorithm 1's "each standby generates a random number"), workload key
+//! selection — draws from one seeded generator owned by the [`crate::Sim`],
+//! so a `(seed, schedule)` pair fully determines a run.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seeded, splittable random source.
+///
+/// `split` derives an independent child stream; the cluster builder hands one
+/// child to each workload client so that adding a client does not perturb the
+/// draws seen by the others.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: SmallRng,
+}
+
+impl DetRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        DetRng { inner: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Derive an independent child generator.
+    pub fn split(&mut self) -> DetRng {
+        DetRng::seed_from_u64(self.inner.next_u64() ^ 0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "DetRng::below(0)");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "DetRng::range empty");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen_range(0.0..1.0)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.f64() < p
+        }
+    }
+
+    /// Pick a uniformly random element index for a slice length. Panics on
+    /// empty slices.
+    pub fn index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "DetRng::index on empty slice");
+        self.inner.gen_range(0..len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::seed_from_u64(42);
+        let mut b = DetRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seed_different_stream() {
+        let mut a = DetRng::seed_from_u64(1);
+        let mut b = DetRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should diverge");
+    }
+
+    #[test]
+    fn split_is_deterministic_and_independent() {
+        let mut a = DetRng::seed_from_u64(7);
+        let mut b = DetRng::seed_from_u64(7);
+        let mut ca = a.split();
+        let mut cb = b.split();
+        assert_eq!(ca.next_u64(), cb.next_u64());
+        // Parent stream continues identically after split.
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn bounds_respected() {
+        let mut r = DetRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+            let v = r.range(5, 8);
+            assert!((5..8).contains(&v));
+            let f = r.f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::seed_from_u64(4);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
+        assert!((2_000..4_000).contains(&hits), "p=0.3 hit rate {hits}");
+    }
+}

@@ -1,0 +1,568 @@
+//! The simulation world: node registry, lifecycle, and the event loop.
+
+use std::collections::HashSet;
+
+use crate::event::{EventKind, EventQueue};
+use crate::net::{LatencyModel, Network};
+use crate::node::{Ctx, Message, Node, NodeId, TimerId, EXTERNAL};
+use crate::rng::DetRng;
+use crate::time::{Duration, SimTime};
+use crate::trace::Trace;
+
+/// Whether a node's process is running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeStatus {
+    Up,
+    /// Process killed: in-memory state lost, timers invalidated, messages
+    /// dropped. Can be brought back with [`Sim::restart`] if a factory was
+    /// registered.
+    Down,
+}
+
+/// Simulation-wide configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Seed for the single deterministic random stream.
+    pub seed: u64,
+    /// Whether to record trace events.
+    pub trace: bool,
+    /// Default link-latency model.
+    pub latency: LatencyModel,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { seed: 0x0C10_75F5, trace: true, latency: LatencyModel::lan() }
+    }
+}
+
+struct NodeMeta {
+    name: String,
+    epoch: u64,
+    status: NodeStatus,
+    started: bool,
+}
+
+/// The part of the world visible to nodes through [`Ctx`]: clock, queue,
+/// network, randomness, traces, and node liveness metadata.
+pub struct Kernel {
+    pub(crate) now: SimTime,
+    pub(crate) queue: EventQueue,
+    pub(crate) net: Network,
+    pub(crate) rng: DetRng,
+    pub(crate) trace: Trace,
+    meta: Vec<NodeMeta>,
+    cancelled_timers: HashSet<u64>,
+    next_timer_id: u64,
+}
+
+impl Kernel {
+    pub(crate) fn send_message(&mut self, from: NodeId, dst: NodeId, msg: Message) {
+        if dst == EXTERNAL {
+            // Replies to environment-injected messages go nowhere.
+            return;
+        }
+        assert!((dst as usize) < self.meta.len(), "send to unknown node {dst}");
+        let fate = if from == EXTERNAL {
+            Some(self.net_latency_external())
+        } else {
+            self.net.route(from, dst, &mut self.rng)
+        };
+        if let Some(latency) = fate {
+            self.queue.push(self.now + latency, EventKind::Deliver { from, dst, msg });
+        }
+    }
+
+    fn net_latency_external(&mut self) -> Duration {
+        LatencyModel::local().sample(&mut self.rng)
+    }
+
+    pub(crate) fn set_timer(&mut self, node: NodeId, delay: Duration, token: u64) -> TimerId {
+        let timer_id = self.next_timer_id;
+        self.next_timer_id += 1;
+        let epoch = self.meta[node as usize].epoch;
+        self.queue.push(self.now + delay, EventKind::Timer { node, epoch, timer_id, token });
+        TimerId(timer_id)
+    }
+
+    pub(crate) fn cancel_timer(&mut self, id: TimerId) {
+        self.cancelled_timers.insert(id.0);
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+}
+
+type Factory = Box<dyn FnMut() -> Box<dyn Node> + Send>;
+
+/// A deterministic discrete-event simulation of a cluster.
+///
+/// ```
+/// use mams_sim::{Sim, SimConfig, Node, Ctx, Message, NodeId, Duration};
+///
+/// #[derive(Debug)]
+/// struct Echo;
+/// impl Node for Echo {
+///     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Message) {
+///         if from != mams_sim::node::EXTERNAL {
+///             ctx.send(from, "pong".to_string());
+///         }
+///     }
+/// }
+///
+/// let mut sim = Sim::new(SimConfig::default());
+/// let a = sim.add_node("a", Box::new(Echo));
+/// let b = sim.add_node("b", Box::new(Echo));
+/// sim.send_external(a, "kick".to_string());
+/// sim.run_for(Duration::from_secs(1));
+/// assert!(sim.now() >= mams_sim::SimTime::ZERO);
+/// # let _ = (a, b);
+/// ```
+pub struct Sim {
+    kernel: Kernel,
+    nodes: Vec<Option<Box<dyn Node>>>,
+    factories: Vec<Option<Factory>>,
+}
+
+impl Sim {
+    pub fn new(cfg: SimConfig) -> Self {
+        Sim {
+            kernel: Kernel {
+                now: SimTime::ZERO,
+                queue: EventQueue::new(),
+                net: Network::new(cfg.latency),
+                rng: DetRng::seed_from_u64(cfg.seed),
+                trace: Trace::new(cfg.trace),
+                meta: Vec::new(),
+                cancelled_timers: HashSet::new(),
+                next_timer_id: 0,
+            },
+            nodes: Vec::new(),
+            factories: Vec::new(),
+        }
+    }
+
+    /// Register a node. It starts (receives `on_start`) when the simulation
+    /// next advances.
+    pub fn add_node(&mut self, name: impl Into<String>, node: Box<dyn Node>) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(Some(node));
+        self.factories.push(None);
+        self.kernel.meta.push(NodeMeta {
+            name: name.into(),
+            epoch: 0,
+            status: NodeStatus::Up,
+            started: false,
+        });
+        id
+    }
+
+    /// Register a node with a factory so it can be restarted after a crash
+    /// (fresh in-memory state, as a real process restart would produce).
+    pub fn add_restartable(
+        &mut self,
+        name: impl Into<String>,
+        mut factory: impl FnMut() -> Box<dyn Node> + Send + 'static,
+    ) -> NodeId {
+        let node = factory();
+        let id = self.add_node(name, node);
+        self.factories[id as usize] = Some(Box::new(factory));
+        id
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    /// Network model handle (for partitions / loss injection).
+    pub fn net_mut(&mut self) -> &mut Network {
+        &mut self.kernel.net
+    }
+
+    /// Recorded trace.
+    pub fn trace(&self) -> &Trace {
+        &self.kernel.trace
+    }
+
+    /// Mutable trace handle (clearing between phases).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.kernel.trace
+    }
+
+    /// Deterministic random stream (shared with the nodes).
+    pub fn rng_mut(&mut self) -> &mut DetRng {
+        &mut self.kernel.rng
+    }
+
+    pub fn node_status(&self, id: NodeId) -> NodeStatus {
+        self.kernel.meta[id as usize].status
+    }
+
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.kernel.meta[id as usize].name
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Inject a message from outside the cluster.
+    pub fn send_external<T: crate::node::AnyMessage>(&mut self, dst: NodeId, payload: T) {
+        self.kernel.send_message(EXTERNAL, dst, Message::new(payload));
+    }
+
+    /// Schedule a control action (fault injection, measurement probe) at an
+    /// absolute virtual time.
+    pub fn at(&mut self, when: SimTime, f: impl FnOnce(&mut Sim) + Send + 'static) {
+        assert!(when >= self.kernel.now, "control action scheduled in the past");
+        self.kernel.queue.push(when, EventKind::Control(Box::new(f)));
+    }
+
+    /// Schedule a control action `delay` from now.
+    pub fn after(&mut self, delay: Duration, f: impl FnOnce(&mut Sim) + Send + 'static) {
+        let when = self.kernel.now + delay;
+        self.kernel.queue.push(when, EventKind::Control(Box::new(f)));
+    }
+
+    /// Kill a node's process: state and timers are lost, queued deliveries
+    /// will be dropped.
+    pub fn crash(&mut self, id: NodeId) {
+        let m = &mut self.kernel.meta[id as usize];
+        if m.status == NodeStatus::Down {
+            return;
+        }
+        m.status = NodeStatus::Down;
+        m.epoch += 1;
+        self.nodes[id as usize] = None;
+        let now = self.kernel.now;
+        self.kernel.trace.record(now, id, "sim.crash", String::new);
+    }
+
+    /// Restart a crashed node from its factory (fresh state). Panics if the
+    /// node is up or was registered without a factory.
+    pub fn restart(&mut self, id: NodeId) {
+        assert_eq!(self.node_status(id), NodeStatus::Down, "restart of a live node");
+        let factory =
+            self.factories[id as usize].as_mut().expect("restart requires add_restartable");
+        let node = factory();
+        self.nodes[id as usize] = Some(node);
+        let m = &mut self.kernel.meta[id as usize];
+        m.status = NodeStatus::Up;
+        m.epoch += 1;
+        m.started = false;
+        let now = self.kernel.now;
+        self.kernel.trace.record(now, id, "sim.restart", String::new);
+        self.start_pending();
+    }
+
+    fn start_pending(&mut self) {
+        for id in 0..self.nodes.len() {
+            let meta = &self.kernel.meta[id];
+            if meta.status == NodeStatus::Up && !meta.started {
+                self.kernel.meta[id].started = true;
+                self.with_node(id as NodeId, |node, ctx| node.on_start(ctx));
+            }
+        }
+    }
+
+    fn with_node(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Node, &mut Ctx<'_>)) {
+        let mut node = match self.nodes[id as usize].take() {
+            Some(n) => n,
+            None => return,
+        };
+        {
+            let mut ctx = Ctx { kernel: &mut self.kernel, id };
+            f(node.as_mut(), &mut ctx);
+        }
+        // The node may have been crashed by a control action only outside
+        // this callback, so the slot is still ours to restore.
+        self.nodes[id as usize] = Some(node);
+    }
+
+    /// Virtual time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.kernel.queue.peek_time()
+    }
+
+    /// Process a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.start_pending();
+        let ev = match self.kernel.queue.pop() {
+            Some(e) => e,
+            None => return false,
+        };
+        debug_assert!(ev.at >= self.kernel.now, "time went backwards");
+        self.kernel.now = ev.at;
+        match ev.kind {
+            EventKind::Deliver { from, dst, msg } => {
+                let meta = &self.kernel.meta[dst as usize];
+                if meta.status != NodeStatus::Up {
+                    return true;
+                }
+                // Messages in flight are lost if the cable is pulled before
+                // delivery.
+                if from != EXTERNAL && !self.kernel.net.connected(from, dst) {
+                    return true;
+                }
+                self.with_node(dst, |node, ctx| node.on_message(ctx, from, msg));
+            }
+            EventKind::Timer { node, epoch, timer_id, token } => {
+                if self.kernel.cancelled_timers.remove(&timer_id) {
+                    return true;
+                }
+                let meta = &self.kernel.meta[node as usize];
+                if meta.status != NodeStatus::Up || meta.epoch != epoch {
+                    return true;
+                }
+                self.with_node(node, |n, ctx| n.on_timer(ctx, token));
+            }
+            EventKind::Control(f) => f(self),
+        }
+        true
+    }
+
+    /// Run until the queue drains or virtual time reaches `deadline`
+    /// (whichever is first); the clock is then advanced to `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.start_pending();
+        while let Some(t) = self.kernel.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.kernel.now < deadline {
+            self.kernel.now = deadline;
+        }
+    }
+
+    /// Run for `d` of virtual time.
+    pub fn run_for(&mut self, d: Duration) {
+        let deadline = self.kernel.now + d;
+        self.run_until(deadline);
+    }
+
+    /// Drain every pending event (panics after `limit` events as a runaway
+    /// guard — heartbeat protocols never drain naturally).
+    pub fn run_to_quiescence(&mut self, limit: u64) {
+        let mut n = 0;
+        while self.step() {
+            n += 1;
+            assert!(n <= limit, "no quiescence after {limit} events");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::EXTERNAL;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[derive(Debug)]
+    struct Counter {
+        hits: Arc<AtomicU64>,
+        peer: Option<NodeId>,
+    }
+
+    impl Node for Counter {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(Duration::from_millis(10), 1);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, _msg: Message) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            if from != EXTERNAL {
+                if let Some(p) = self.peer {
+                    if p == from {
+                        // no echo storm
+                        return;
+                    }
+                }
+            }
+            if let Some(p) = self.peer {
+                ctx.send(p, 1u32);
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_>, token: u64) {
+            assert_eq!(token, 1);
+            self.hits.fetch_add(100, Ordering::Relaxed);
+        }
+    }
+
+    fn mk(hits: Arc<AtomicU64>, peer: Option<NodeId>) -> Box<dyn Node> {
+        Box::new(Counter { hits, peer })
+    }
+
+    #[test]
+    fn timers_fire_once_at_the_right_time() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let mut sim = Sim::new(SimConfig::default());
+        sim.add_node("n", mk(hits.clone(), None));
+        sim.run_for(Duration::from_millis(5));
+        assert_eq!(hits.load(Ordering::Relaxed), 0);
+        sim.run_for(Duration::from_millis(10));
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        sim.run_for(Duration::from_secs(1));
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn messages_are_delivered_with_latency() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let mut sim = Sim::new(SimConfig::default());
+        let a = sim.add_node("a", mk(hits.clone(), None));
+        sim.send_external(a, 0u32);
+        sim.run_for(Duration::from_millis(1));
+        assert_eq!(hits.load(Ordering::Relaxed) % 100, 1);
+    }
+
+    #[test]
+    fn crash_drops_state_timers_and_messages() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let mut sim = Sim::new(SimConfig::default());
+        let h = hits.clone();
+        let a = sim.add_restartable("a", move || mk(h.clone(), None));
+        sim.run_for(Duration::from_millis(1));
+        sim.crash(a);
+        sim.send_external(a, 0u32);
+        sim.run_for(Duration::from_secs(1));
+        // Neither the pending start timer nor the message should land.
+        assert_eq!(hits.load(Ordering::Relaxed), 0);
+        assert_eq!(sim.node_status(a), NodeStatus::Down);
+    }
+
+    #[test]
+    fn restart_re_runs_on_start_with_fresh_state() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let mut sim = Sim::new(SimConfig::default());
+        let h = hits.clone();
+        let a = sim.add_restartable("a", move || mk(h.clone(), None));
+        sim.run_for(Duration::from_millis(20));
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        sim.crash(a);
+        sim.run_for(Duration::from_millis(5));
+        sim.restart(a);
+        sim.run_for(Duration::from_millis(20));
+        assert_eq!(hits.load(Ordering::Relaxed), 200);
+        assert_eq!(sim.node_status(a), NodeStatus::Up);
+    }
+
+    #[test]
+    fn partition_blocks_messages_in_flight() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let mut sim = Sim::new(SimConfig::default());
+        let a = sim.add_node("a", mk(hits.clone(), None));
+        let b = sim.add_node("b", mk(Arc::new(AtomicU64::new(0)), Some(a)));
+        // b forwards external pokes to a; cut the link first.
+        sim.net_mut().cut(a, b);
+        sim.send_external(b, 0u32);
+        sim.run_for(Duration::from_secs(1));
+        assert_eq!(hits.load(Ordering::Relaxed), 100, "only a's own timer");
+    }
+
+    #[test]
+    fn control_actions_run_at_their_time() {
+        let mut sim = Sim::new(SimConfig::default());
+        let a = sim.add_node("a", mk(Arc::new(AtomicU64::new(0)), None));
+        let seen = Arc::new(AtomicU64::new(0));
+        let s = seen.clone();
+        sim.at(SimTime(5_000_000), move |sim| {
+            s.store(sim.now().micros(), Ordering::Relaxed);
+            sim.crash(a);
+        });
+        sim.run_for(Duration::from_secs(10));
+        assert_eq!(seen.load(Ordering::Relaxed), 5_000_000);
+        assert_eq!(sim.node_status(a), NodeStatus::Down);
+    }
+
+    #[test]
+    fn identical_seeds_identical_traces() {
+        fn run(seed: u64) -> Vec<(u64, &'static str)> {
+            let hits = Arc::new(AtomicU64::new(0));
+            let mut sim = Sim::new(SimConfig { seed, ..SimConfig::default() });
+            let a = sim.add_node("a", mk(hits.clone(), None));
+            let h2 = Arc::new(AtomicU64::new(0));
+            let b = sim.add_node("b", mk(h2, Some(a)));
+            sim.send_external(b, 0u32);
+            sim.at(SimTime(2_000), move |s| s.crash(a));
+            sim.run_for(Duration::from_secs(1));
+            sim.trace().events().iter().map(|e| (e.time.micros(), e.tag)).collect()
+        }
+        assert_eq!(run(7), run(7));
+        // And the run is not trivially empty.
+        assert!(!run(7).is_empty());
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut sim = Sim::new(SimConfig::default());
+        sim.run_until(SimTime(123));
+        assert_eq!(sim.now(), SimTime(123));
+    }
+}
+
+#[cfg(test)]
+mod cancel_tests {
+    use super::*;
+    use crate::node::{Ctx, Message, Node, NodeId, TimerId};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// Arms two timers and cancels the second when the first fires.
+    struct Canceller {
+        fired: Arc<AtomicU64>,
+        pending: Option<TimerId>,
+    }
+
+    impl Node for Canceller {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(Duration::from_millis(5), 1);
+            self.pending = Some(ctx.set_timer(Duration::from_millis(10), 2));
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            self.fired.fetch_add(token, Ordering::Relaxed);
+            if token == 1 {
+                if let Some(id) = self.pending.take() {
+                    ctx.cancel_timer(id);
+                }
+            }
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_>, _: NodeId, _: Message) {}
+    }
+
+    #[test]
+    fn cancelled_timers_never_fire() {
+        let fired = Arc::new(AtomicU64::new(0));
+        let mut sim = Sim::new(SimConfig::default());
+        sim.add_node("c", Box::new(Canceller { fired: fired.clone(), pending: None }));
+        sim.run_for(Duration::from_secs(1));
+        assert_eq!(fired.load(Ordering::Relaxed), 1, "only the first timer fires");
+    }
+
+    #[test]
+    fn cancelling_a_fired_timer_is_a_noop() {
+        struct LateCancel {
+            id: Option<TimerId>,
+        }
+        impl Node for LateCancel {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                self.id = Some(ctx.set_timer(Duration::from_millis(1), 1));
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+                // Cancel after the fact: must not panic or corrupt anything.
+                if let Some(id) = self.id.take() {
+                    ctx.cancel_timer(id);
+                }
+                ctx.set_timer(Duration::from_millis(1), 2);
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_>, _: NodeId, _: Message) {}
+        }
+        let mut sim = Sim::new(SimConfig::default());
+        sim.add_node("l", Box::new(LateCancel { id: None }));
+        sim.run_for(Duration::from_millis(50));
+    }
+}

@@ -1,0 +1,64 @@
+//! Disk latency model for pool nodes.
+//!
+//! Calibrated to the paper's testbed (commodity SATA behind a file system
+//! cache, journal appends batched and written asynchronously): a fixed seek/
+//! submit overhead plus a streaming term.
+
+use mams_sim::Duration;
+
+/// Latency model for sequential journal/image I/O.
+#[derive(Debug, Clone, Copy)]
+pub struct DiskModel {
+    /// Fixed per-operation overhead (submit + fsync amortization).
+    pub op_overhead: Duration,
+    /// Streaming throughput in bytes per second.
+    pub bytes_per_sec: u64,
+}
+
+impl DiskModel {
+    /// Journal-device profile: ~1.5 ms per flush, ~100 MB/s streaming.
+    pub fn journal_disk() -> Self {
+        DiskModel { op_overhead: Duration::from_micros(1_500), bytes_per_sec: 100 * 1024 * 1024 }
+    }
+
+    /// Image-store profile: ~5 ms seek, ~100 MB/s streaming (what the
+    /// paper's image-load times during renewing are dominated by).
+    pub fn image_disk() -> Self {
+        DiskModel { op_overhead: Duration::from_micros(5_000), bytes_per_sec: 100 * 1024 * 1024 }
+    }
+
+    /// Time to read or write `bytes` sequentially.
+    pub fn io_time(&self, bytes: u64) -> Duration {
+        let stream_us = (bytes as u128 * 1_000_000 / self.bytes_per_sec as u128) as u64;
+        self.op_overhead + Duration::from_micros(stream_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_io_dominated_by_overhead() {
+        let d = DiskModel::journal_disk();
+        let t = d.io_time(512);
+        assert!(t >= d.op_overhead);
+        assert!(t < d.op_overhead + Duration::from_micros(100));
+    }
+
+    #[test]
+    fn large_io_dominated_by_streaming() {
+        let d = DiskModel::image_disk();
+        // 1 GiB at 100 MiB/s ≈ 10.24 s.
+        let t = d.io_time(1024 * 1024 * 1024);
+        let secs = t.as_secs_f64();
+        assert!((9.0..12.0).contains(&secs), "1 GiB load took {secs}s");
+    }
+
+    #[test]
+    fn io_time_is_monotone_in_size() {
+        let d = DiskModel::journal_disk();
+        assert!(d.io_time(10) <= d.io_time(1_000));
+        assert!(d.io_time(1_000) <= d.io_time(1_000_000));
+    }
+}

@@ -1,0 +1,218 @@
+//! Pool contents: per-replica-group journal segments, images, and fencing.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mams_journal::{AppendOutcome, JournalBatch, JournalLog, Sn};
+use mams_namespace::NamespaceImage;
+use parking_lot::Mutex;
+
+/// Replica-group index (matches `mams_namespace::partition::GroupId`).
+pub type GroupId = u32;
+
+/// Fencing epoch: monotonically increasing per group; granted alongside the
+/// distributed lock at election time.
+pub type Epoch = u64;
+
+/// Pool operation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// Writer presented an epoch older than one the pool has seen: it has
+    /// been deposed and must stop (IO fencing).
+    Fenced { current: Epoch, presented: Epoch },
+    /// Journal gap or divergence.
+    Journal(String),
+    /// Requested image/chunk does not exist.
+    NoSuchImage,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::Fenced { current, presented } => {
+                write!(f, "fenced: pool epoch {current}, writer presented {presented}")
+            }
+            PoolError::Journal(s) => write!(f, "journal: {s}"),
+            PoolError::NoSuchImage => write!(f, "no such image"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// One replica group's shared files.
+#[derive(Debug, Default)]
+pub struct GroupStore {
+    /// Highest writer epoch observed.
+    epoch: Epoch,
+    /// The shared journal segment.
+    journal: JournalLog,
+    /// Latest namespace image, if checkpointed.
+    image: Option<NamespaceImage>,
+}
+
+impl GroupStore {
+    fn check_epoch(&mut self, presented: Epoch) -> Result<(), PoolError> {
+        if presented < self.epoch {
+            return Err(PoolError::Fenced { current: self.epoch, presented });
+        }
+        self.epoch = presented;
+        Ok(())
+    }
+
+    /// Append a batch under the writer's epoch.
+    pub fn append_journal(
+        &mut self,
+        epoch: Epoch,
+        batch: JournalBatch,
+    ) -> Result<AppendOutcome, PoolError> {
+        self.check_epoch(epoch)?;
+        self.journal.append(batch).map_err(|e| PoolError::Journal(e.to_string()))
+    }
+
+    /// Journal tail after `after_sn` (up to `max` batches). `None` means the
+    /// range was compacted away and the reader needs the image.
+    pub fn read_journal(&self, after_sn: Sn, max: usize) -> Option<Vec<JournalBatch>> {
+        self.journal.read_after(after_sn).map(|s| s.iter().take(max).cloned().collect())
+    }
+
+    /// Tail sn of the shared journal.
+    pub fn tail_sn(&self) -> Sn {
+        self.journal.tail_sn()
+    }
+
+    /// Store a checkpoint image and compact the journal through its sn.
+    pub fn write_image(&mut self, epoch: Epoch, image: NamespaceImage) -> Result<(), PoolError> {
+        self.check_epoch(epoch)?;
+        let sn = image.checkpoint_sn;
+        self.image = Some(image);
+        self.journal.compact_through(sn);
+        Ok(())
+    }
+
+    /// Latest image metadata.
+    pub fn image(&self) -> Option<&NamespaceImage> {
+        self.image.as_ref()
+    }
+
+    /// Current fencing epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Observe a new epoch without writing (called on lock grant so the old
+    /// active is fenced even before the new one writes).
+    pub fn advance_epoch(&mut self, to: Epoch) {
+        self.epoch = self.epoch.max(to);
+    }
+}
+
+/// All groups' shared files.
+#[derive(Debug, Default)]
+pub struct PoolState {
+    groups: HashMap<GroupId, GroupStore>,
+}
+
+impl PoolState {
+    pub fn new() -> Self {
+        PoolState::default()
+    }
+
+    /// The store for `group`, created on first touch.
+    pub fn group_mut(&mut self, group: GroupId) -> &mut GroupStore {
+        self.groups.entry(group).or_default()
+    }
+
+    pub fn group(&self, group: GroupId) -> Option<&GroupStore> {
+        self.groups.get(&group)
+    }
+}
+
+/// Handle shared by every pool node (the pool's contents are replicated
+/// across nodes and survive any single crash).
+pub type SharedPool = Arc<Mutex<PoolState>>;
+
+/// Create an empty shared pool.
+pub fn new_shared_pool() -> SharedPool {
+    Arc::new(Mutex::new(PoolState::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mams_journal::Txn;
+    use mams_namespace::{encode_image, NamespaceTree};
+
+    fn batch(sn: Sn) -> JournalBatch {
+        JournalBatch::new(sn, sn, vec![Txn::Mkdir { path: format!("/d{sn}") }])
+    }
+
+    #[test]
+    fn append_and_read_tail() {
+        let mut g = GroupStore::default();
+        for sn in 1..=5 {
+            assert_eq!(g.append_journal(1, batch(sn)).unwrap(), AppendOutcome::Appended);
+        }
+        assert_eq!(g.tail_sn(), 5);
+        let tail = g.read_journal(3, 10).unwrap();
+        assert_eq!(tail.iter().map(|b| b.sn).collect::<Vec<_>>(), vec![4, 5]);
+        let capped = g.read_journal(0, 2).unwrap();
+        assert_eq!(capped.len(), 2);
+    }
+
+    #[test]
+    fn stale_epoch_is_fenced() {
+        let mut g = GroupStore::default();
+        g.append_journal(5, batch(1)).unwrap();
+        let err = g.append_journal(4, batch(2)).unwrap_err();
+        assert_eq!(err, PoolError::Fenced { current: 5, presented: 4 });
+        // Same epoch continues to work; higher epoch takes over.
+        g.append_journal(5, batch(2)).unwrap();
+        g.append_journal(6, batch(3)).unwrap();
+        assert_eq!(g.epoch(), 6);
+    }
+
+    #[test]
+    fn advance_epoch_fences_before_first_write() {
+        let mut g = GroupStore::default();
+        g.append_journal(1, batch(1)).unwrap();
+        g.advance_epoch(2);
+        let err = g.append_journal(1, batch(2)).unwrap_err();
+        assert!(matches!(err, PoolError::Fenced { current: 2, presented: 1 }));
+    }
+
+    #[test]
+    fn image_checkpoint_compacts_journal() {
+        let mut g = GroupStore::default();
+        for sn in 1..=10 {
+            g.append_journal(1, batch(sn)).unwrap();
+        }
+        let mut t = NamespaceTree::new();
+        for sn in 1..=7 {
+            t.mkdir(&format!("/d{sn}")).unwrap();
+        }
+        g.write_image(1, encode_image(&t, 7)).unwrap();
+        assert_eq!(g.image().unwrap().checkpoint_sn, 7);
+        // Journal before sn 7 is gone; readers fall back to the image.
+        assert!(g.read_journal(3, 10).is_none());
+        let tail = g.read_journal(7, 10).unwrap();
+        assert_eq!(tail.iter().map(|b| b.sn).collect::<Vec<_>>(), vec![8, 9, 10]);
+    }
+
+    #[test]
+    fn duplicate_appends_are_idempotent() {
+        let mut g = GroupStore::default();
+        g.append_journal(1, batch(1)).unwrap();
+        assert_eq!(g.append_journal(1, batch(1)).unwrap(), AppendOutcome::Duplicate);
+    }
+
+    #[test]
+    fn pool_state_isolates_groups() {
+        let mut p = PoolState::new();
+        p.group_mut(0).append_journal(1, batch(1)).unwrap();
+        assert_eq!(p.group(0).unwrap().tail_sn(), 1);
+        assert!(p.group(1).is_none());
+        p.group_mut(1);
+        assert_eq!(p.group(1).unwrap().tail_sn(), 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Pool protocol: the messages metadata servers exchange with pool nodes.
+
+use bytes::Bytes;
+use mams_journal::{JournalBatch, Sn};
+use mams_namespace::NamespaceImage;
+
+use crate::pool::{Epoch, GroupId, PoolError};
+
+/// Correlates a response with its request (caller-chosen).
+pub type ReqId = u64;
+
+/// Requests served by a [`crate::PoolNode`].
+#[derive(Debug)]
+pub enum PoolReq {
+    /// Append a journal batch under the writer's fencing epoch.
+    AppendJournal { group: GroupId, epoch: Epoch, batch: JournalBatch, req: ReqId },
+    /// Read up to `max` batches with sn > `after_sn`.
+    ReadJournal { group: GroupId, after_sn: Sn, max: usize, req: ReqId },
+    /// Checkpoint an image (compacts the shared journal through its sn).
+    WriteImage { group: GroupId, epoch: Epoch, image: NamespaceImage, req: ReqId },
+    /// Latest image metadata (checkpoint sn + size).
+    ReadImageMeta { group: GroupId, req: ReqId },
+    /// A chunk of the latest image (resumable transfer).
+    ReadImageChunk { group: GroupId, offset: u64, len: u64, req: ReqId },
+    /// Fence all writers with epoch < `to` (issued on lock grant).
+    AdvanceEpoch { group: GroupId, to: Epoch, req: ReqId },
+    /// The shared journal's tail sn.
+    TailSn { group: GroupId, req: ReqId },
+}
+
+/// Responses from a [`crate::PoolNode`].
+#[derive(Debug)]
+pub enum PoolResp {
+    AppendOk { group: GroupId, sn: Sn, duplicate: bool, req: ReqId },
+    /// `compacted` means the requested range predates the image checkpoint
+    /// and the reader must load the image first.
+    Journal { group: GroupId, batches: Vec<JournalBatch>, tail_sn: Sn, compacted: bool, req: ReqId },
+    ImageWritten { group: GroupId, checkpoint_sn: Sn, req: ReqId },
+    /// `meta` is `(checkpoint_sn, size_bytes)` or `None` when no image
+    /// exists yet.
+    ImageMeta { group: GroupId, meta: Option<(Sn, u64)>, req: ReqId },
+    ImageChunk { group: GroupId, offset: u64, data: Bytes, total: u64, req: ReqId },
+    EpochAdvanced { group: GroupId, epoch: Epoch, req: ReqId },
+    Tail { group: GroupId, sn: Sn, req: ReqId },
+    Failed { group: GroupId, error: PoolError, req: ReqId },
+}
+
+impl PoolResp {
+    /// The request this response answers.
+    pub fn req_id(&self) -> ReqId {
+        match self {
+            PoolResp::AppendOk { req, .. }
+            | PoolResp::Journal { req, .. }
+            | PoolResp::ImageWritten { req, .. }
+            | PoolResp::ImageMeta { req, .. }
+            | PoolResp::ImageChunk { req, .. }
+            | PoolResp::EpochAdvanced { req, .. }
+            | PoolResp::Tail { req, .. }
+            | PoolResp::Failed { req, .. } => *req,
+        }
+    }
+}

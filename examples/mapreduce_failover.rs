@@ -1,0 +1,53 @@
+//! Transparent failover for an upper-layer application: a MapReduce
+//! wordcount job keeps running while a metadata server dies mid-job (the
+//! paper's Figure 9 scenario).
+//!
+//! ```sh
+//! cargo run --release --example mapreduce_failover
+//! ```
+
+use mams::cluster::deploy::{build, DeploySpec};
+use mams::mapreduce::{build_job, JobSpec, JobStats};
+use mams::sim::{Duration, Sim, SimConfig, SimTime};
+
+fn main() {
+    let mut sim = Sim::new(SimConfig::default());
+    // The paper's Figure 9 configuration: 3 actives, 9 standbys total.
+    let cluster = build(&mut sim, DeploySpec::mams(3, 9));
+
+    let stats = JobStats::new();
+    let spec = JobSpec {
+        maps: 24,
+        reduces: 6,
+        workers: 6,
+        map_compute: Duration::from_secs(4),
+        reduce_compute: Duration::from_secs(3),
+    };
+    build_job(&mut sim, cluster.coord, cluster.partitioner, spec, stats.clone());
+
+    let victim = cluster.initial_active(0);
+    sim.at(SimTime(10_000_000), move |s| {
+        println!("[t=10s] >>> killing metadata server {victim} (active of group 0) mid-job");
+        s.crash(victim);
+    });
+
+    sim.run_until(SimTime(180_000_000));
+
+    let t0 = stats.started_at().expect("job started") as f64 / 1e6;
+    println!("\njob started at t={t0:.1}s");
+    for (label, times) in [("map", stats.maps_done()), ("reduce", stats.reduces_done())] {
+        print!("{label} completions (s): ");
+        for t in &times {
+            print!("{:.1} ", *t as f64 / 1e6);
+        }
+        println!();
+    }
+    match stats.job_done_at() {
+        Some(t) => println!(
+            "\njob finished at t={:.1}s — the mid-job failover cost a few seconds of\n\
+             stalled metadata operations but no task failed and no rerun was needed.",
+            t as f64 / 1e6
+        ),
+        None => println!("\njob did not finish — unexpected"),
+    }
+}

@@ -1,0 +1,41 @@
+//! # mams — a from-scratch reproduction of "MAMS: A Highly Reliable
+//! Policy for Metadata Service" (ICPP 2015)
+//!
+//! This facade re-exports the whole workspace. The fastest way in is the
+//! deployment builder plus a workload:
+//!
+//! ```
+//! use mams::cluster::deploy::{build, DeploySpec};
+//! use mams::cluster::metrics::Metrics;
+//! use mams::cluster::workload::Workload;
+//! use mams::sim::{Duration, Sim, SimConfig, SimTime};
+//!
+//! // One replica group: an active + two hot standbys, plus the
+//! // coordination service, shared storage pool, and data servers.
+//! let mut sim = Sim::new(SimConfig::default());
+//! let mut cluster =
+//!     build(&mut sim, DeploySpec { groups: 1, standbys_per_group: 2, ..DeploySpec::default() });
+//!
+//! // A closed-loop client creating files; kill the active mid-run.
+//! let metrics = Metrics::new(true);
+//! cluster.add_client(&mut sim, Workload::create_only(0), metrics.clone());
+//! let active = cluster.initial_active(0);
+//! sim.at(SimTime(10_000_000), move |s| s.crash(active));
+//!
+//! sim.run_for(Duration::from_secs(30));
+//! assert!(metrics.ok_count() > 1_000);          // service kept flowing
+//! assert_eq!(metrics.failed_count(), 0);        // transparently
+//! ```
+//!
+//! See `examples/` for richer scenarios and `mams-bench` for the harnesses
+//! that regenerate every table and figure of the paper.
+pub use mams_baselines as baselines;
+pub use mams_cluster as cluster;
+pub use mams_coord as coord;
+pub use mams_core as core;
+pub use mams_journal as journal;
+pub use mams_mapreduce as mapreduce;
+pub use mams_namespace as namespace;
+pub use mams_paxos as paxos;
+pub use mams_sim as sim;
+pub use mams_storage as storage;

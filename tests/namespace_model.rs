@@ -1,0 +1,213 @@
+//! Model-based property test: the namespace tree vs a flat reference model
+//! (a set of absolute paths with kinds). Every operation must agree with
+//! the model on success/failure *and* on the resulting state.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use mams::namespace::NamespaceTree;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    File,
+    Dir,
+}
+
+/// The reference model: path → kind, with "/" implicit.
+#[derive(Debug, Default)]
+struct Model {
+    entries: BTreeMap<String, Kind>,
+}
+
+impl Model {
+    fn parent_ok(&self, p: &str) -> bool {
+        match mams_parent(p) {
+            Some("/") => true,
+            Some(parent) => self.entries.get(parent) == Some(&Kind::Dir),
+            None => false,
+        }
+    }
+
+    fn exists(&self, p: &str) -> bool {
+        p == "/" || self.entries.contains_key(p)
+    }
+
+    fn children(&self, p: &str) -> Vec<String> {
+        let prefix = if p == "/" { "/".to_string() } else { format!("{p}/") };
+        self.entries
+            .keys()
+            .filter(|k| {
+                k.starts_with(&prefix) && !k[prefix.len()..].contains('/') && !k[prefix.len()..].is_empty()
+            })
+            .cloned()
+            .collect()
+    }
+
+    fn create(&mut self, p: &str) -> bool {
+        if self.exists(p) || !self.parent_ok(p) {
+            return false;
+        }
+        self.entries.insert(p.to_string(), Kind::File);
+        true
+    }
+
+    fn mkdir(&mut self, p: &str) -> bool {
+        if self.exists(p) || !self.parent_ok(p) {
+            return false;
+        }
+        self.entries.insert(p.to_string(), Kind::Dir);
+        true
+    }
+
+    fn delete(&mut self, p: &str, recursive: bool) -> bool {
+        match self.entries.get(p) {
+            None => false,
+            Some(Kind::File) => {
+                self.entries.remove(p);
+                true
+            }
+            Some(Kind::Dir) => {
+                if !self.children(p).is_empty() && !recursive {
+                    return false;
+                }
+                let prefix = format!("{p}/");
+                self.entries.retain(|k, _| k != p && !k.starts_with(&prefix));
+                true
+            }
+        }
+    }
+
+    fn rename(&mut self, src: &str, dst: &str) -> bool {
+        if src == dst
+            || !self.exists(src)
+            || src == "/"
+            || self.exists(dst)
+            || !self.parent_ok(dst)
+            || is_descendant(dst, src)
+        {
+            return false;
+        }
+        let src_prefix = format!("{src}/");
+        let moved: Vec<(String, Kind)> = self
+            .entries
+            .iter()
+            .filter(|(k, _)| k.as_str() == src || k.starts_with(&src_prefix))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        for (k, _) in &moved {
+            self.entries.remove(k);
+        }
+        for (k, v) in moved {
+            let suffix = &k[src.len()..];
+            self.entries.insert(format!("{dst}{suffix}"), v);
+        }
+        true
+    }
+}
+
+fn mams_parent(p: &str) -> Option<&str> {
+    if p == "/" {
+        return None;
+    }
+    match p.rfind('/') {
+        Some(0) => Some("/"),
+        Some(i) => Some(&p[..i]),
+        None => None,
+    }
+}
+
+fn is_descendant(descendant: &str, ancestor: &str) -> bool {
+    descendant.len() > ancestor.len()
+        && descendant.starts_with(ancestor)
+        && descendant.as_bytes()[ancestor.len()] == b'/'
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create(String),
+    Mkdir(String),
+    Delete(String, bool),
+    Rename(String, String),
+    GetInfo(String),
+    List(String),
+}
+
+fn small_path() -> impl Strategy<Value = String> {
+    // A tiny alphabet so ops collide often (the interesting cases).
+    prop::collection::vec(prop_oneof!["a".prop_map(String::from), "b".prop_map(String::from), "c".prop_map(String::from)], 1..4)
+        .prop_map(|c| format!("/{}", c.join("/")))
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        small_path().prop_map(Op::Create),
+        small_path().prop_map(Op::Mkdir),
+        (small_path(), any::<bool>()).prop_map(|(p, r)| Op::Delete(p, r)),
+        (small_path(), small_path()).prop_map(|(s, d)| Op::Rename(s, d)),
+        small_path().prop_map(Op::GetInfo),
+        small_path().prop_map(Op::List),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn tree_agrees_with_the_reference_model(ops in prop::collection::vec(arb_op(), 1..200)) {
+        let mut tree = NamespaceTree::new();
+        let mut model = Model::default();
+        for op in &ops {
+            match op {
+                Op::Create(p) => {
+                    let t = tree.create(p, 1).is_ok();
+                    let m = model.create(p);
+                    prop_assert_eq!(t, m, "create {} disagreed", p);
+                }
+                Op::Mkdir(p) => {
+                    let t = tree.mkdir(p).is_ok();
+                    let m = model.mkdir(p);
+                    prop_assert_eq!(t, m, "mkdir {} disagreed", p);
+                }
+                Op::Delete(p, r) => {
+                    let t = tree.delete(p, *r).is_ok();
+                    let m = model.delete(p, *r);
+                    prop_assert_eq!(t, m, "delete {} (r={}) disagreed", p, r);
+                }
+                Op::Rename(s, d) => {
+                    let t = tree.rename(s, d).is_ok();
+                    let m = model.rename(s, d);
+                    prop_assert_eq!(t, m, "rename {} -> {} disagreed", s, d);
+                }
+                Op::GetInfo(p) => {
+                    let t = tree.getfileinfo(p);
+                    prop_assert_eq!(t.is_ok(), model.exists(p), "getfileinfo {} disagreed", p);
+                    if let Ok(info) = t {
+                        if p != "/" {
+                            let kind = model.entries[p.as_str()];
+                            prop_assert_eq!(info.is_dir, kind == Kind::Dir);
+                        }
+                    }
+                }
+                Op::List(p) => {
+                    if let Ok(mut names) = tree.list(p) {
+                        prop_assert_eq!(model.entries.get(p.as_str()).copied(), if p == "/" { None } else { Some(Kind::Dir) });
+                        let mut expected: Vec<String> = model
+                            .children(p)
+                            .iter()
+                            .map(|c| c.rsplit('/').next().unwrap().to_string())
+                            .collect();
+                        names.sort();
+                        expected.sort();
+                        prop_assert_eq!(names, expected, "list {} disagreed", p);
+                    }
+                }
+            }
+        }
+        // Final shape agreement.
+        let files = model.entries.values().filter(|&&k| k == Kind::File).count() as u64;
+        let dirs = model.entries.values().filter(|&&k| k == Kind::Dir).count() as u64;
+        prop_assert_eq!(tree.num_files(), files);
+        prop_assert_eq!(tree.num_dirs(), dirs);
+    }
+}

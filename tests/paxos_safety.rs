@@ -1,0 +1,114 @@
+//! Property test for Paxos safety: with competing proposers and arbitrary
+//! message interleavings, at most one value is ever chosen per instance —
+//! the guarantee MAMS leans on for "only one active is elected each time".
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use mams::paxos::{Acceptor, Ballot, Proposer, ProposerEvent};
+
+#[derive(Debug, Clone)]
+struct Round {
+    proposer: u32,
+    ballot_round: u64,
+    /// Which acceptors the prepare reaches, in order (others are "lost").
+    prepare_order: Vec<usize>,
+    /// Which acceptors the accept reaches, in order.
+    accept_order: Vec<usize>,
+}
+
+fn arb_round(n_acceptors: usize) -> impl Strategy<Value = Round> {
+    (
+        0u32..3,
+        1u64..6,
+        proptest::sample::subsequence((0..n_acceptors).collect::<Vec<_>>(), 0..=n_acceptors),
+        proptest::sample::subsequence((0..n_acceptors).collect::<Vec<_>>(), 0..=n_acceptors),
+    )
+        .prop_map(|(proposer, ballot_round, prepare_order, accept_order)| Round {
+            proposer,
+            ballot_round,
+            prepare_order,
+            accept_order,
+        })
+}
+
+/// Drive one proposer round against shared acceptors with the given
+/// delivery pattern; returns the value it believes was chosen, if any.
+fn drive(acceptors: &mut [Acceptor], round: &Round) -> Option<Bytes> {
+    let ballot = Ballot::new(round.ballot_round, round.proposer);
+    let my_value = Bytes::from(format!("v{}@{}", round.proposer, round.ballot_round));
+    let mut p = Proposer::new(round.proposer, acceptors.len(), ballot, my_value);
+    let mut accept_payload = None;
+    for &i in &round.prepare_order {
+        let reply = acceptors[i].on_prepare(ballot);
+        match p.on_prepare_reply(i as u32, reply) {
+            ProposerEvent::SendAccepts { ballot, value } => {
+                accept_payload = Some((ballot, value));
+                break;
+            }
+            ProposerEvent::Preempted { .. } => return None,
+            _ => {}
+        }
+    }
+    let (ballot, value) = accept_payload?;
+    for &i in &round.accept_order {
+        let reply = acceptors[i].on_accept(ballot, value.clone());
+        match p.on_accept_reply(i as u32, reply) {
+            ProposerEvent::Chosen { value, .. } => return Some(value),
+            ProposerEvent::Preempted { .. } => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn at_most_one_value_is_ever_chosen(
+        rounds in prop::collection::vec(arb_round(5), 1..12),
+    ) {
+        let mut acceptors = vec![Acceptor::new(); 5];
+        let mut chosen: Option<Bytes> = None;
+        for round in &rounds {
+            if let Some(v) = drive(&mut acceptors, round) {
+                match &chosen {
+                    None => chosen = Some(v),
+                    Some(prev) => prop_assert_eq!(
+                        prev,
+                        &v,
+                        "two different values chosen: {:?} then {:?}",
+                        prev,
+                        v
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Once a quorum has accepted a value, every later successful round
+    /// must choose that same value (the adoption rule works).
+    #[test]
+    fn chosen_values_are_stable_under_later_rounds(
+        later in prop::collection::vec(arb_round(3), 1..8),
+    ) {
+        let mut acceptors = vec![Acceptor::new(); 3];
+        // Choose "first" with a full round.
+        let first = drive(
+            &mut acceptors,
+            &Round {
+                proposer: 0,
+                ballot_round: 1,
+                prepare_order: vec![0, 1, 2],
+                accept_order: vec![0, 1, 2],
+            },
+        )
+        .expect("uncontended round chooses");
+        for round in &later {
+            if let Some(v) = drive(&mut acceptors, round) {
+                prop_assert_eq!(&first, &v, "a later round overwrote the chosen value");
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Property-based tests for the core data structures and invariants
+//! (DESIGN.md §4): encode/decode round trips, replay determinism, duplicate
+//! suppression, partition stability.
+
+use proptest::prelude::*;
+
+use mams::journal::{
+    decode_batch, encode_batch, AppendOutcome, JournalBatch, JournalLog, ReplayCursor, Txn,
+};
+use mams::namespace::{decode_image, encode_image, NamespaceTree, Partitioner};
+
+// ---------------------------------------------------------- strategies
+
+fn path_component() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,5}".prop_map(|s| s)
+}
+
+fn abs_path(max_depth: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(path_component(), 1..=max_depth)
+        .prop_map(|comps| format!("/{}", comps.join("/")))
+}
+
+fn arb_txn() -> impl Strategy<Value = Txn> {
+    prop_oneof![
+        (abs_path(4), 1u8..=5).prop_map(|(path, replication)| Txn::Create { path, replication }),
+        abs_path(4).prop_map(|path| Txn::Mkdir { path }),
+        (abs_path(4), any::<bool>()).prop_map(|(path, recursive)| Txn::Delete { path, recursive }),
+        (abs_path(4), abs_path(4)).prop_map(|(src, dst)| Txn::Rename { src, dst }),
+        (abs_path(4), 1u64..1000, 1u32..1 << 20)
+            .prop_map(|(path, block_id, len)| Txn::AddBlock { path, block_id, len }),
+        abs_path(4).prop_map(|path| Txn::CloseFile { path }),
+        (abs_path(4), 0u16..0o777).prop_map(|(path, perm)| Txn::SetPerm { path, perm }),
+    ]
+}
+
+fn arb_batch(sn: u64) -> impl Strategy<Value = JournalBatch> {
+    (prop::collection::vec(arb_txn(), 1..24), 1u64..1 << 40)
+        .prop_map(move |(records, txid)| JournalBatch::new(sn, txid, records))
+}
+
+/// A random sequence of *valid* operations: ops are generated blind but
+/// only the ones the tree accepts are journaled, exactly like the active.
+fn apply_random_ops(tree: &mut NamespaceTree, ops: &[Txn]) -> Vec<Txn> {
+    let mut journaled = Vec::new();
+    for op in ops {
+        if tree.apply(op).is_ok() {
+            journaled.push(op.clone());
+        }
+    }
+    journaled
+}
+
+// -------------------------------------------------------------- journal
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn journal_batch_round_trips(batch in arb_batch(7)) {
+        let encoded = encode_batch(&batch);
+        let decoded = decode_batch(encoded).expect("round trip");
+        prop_assert_eq!(decoded, batch);
+    }
+
+    #[test]
+    fn journal_corruption_never_passes_silently(
+        batch in arb_batch(3),
+        flip in any::<prop::sample::Index>(),
+    ) {
+        let encoded = encode_batch(&batch);
+        let mut bytes = encoded.to_vec();
+        let i = flip.index(bytes.len());
+        bytes[i] ^= 0x5a;
+        // Either an error, or (never) a silently different batch.
+        if let Ok(decoded) = decode_batch(bytes::Bytes::from(bytes)) {
+            prop_assert_eq!(decoded, batch, "corruption must not yield a different batch");
+        }
+    }
+
+    #[test]
+    fn log_append_is_idempotent_and_contiguous(batches in prop::collection::vec(arb_batch(1), 1..8)) {
+        // Renumber to a contiguous run.
+        let batches: Vec<JournalBatch> = batches
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut b)| {
+                b.sn = i as u64 + 1;
+                b
+            })
+            .collect();
+        let mut log = JournalLog::new();
+        for b in &batches {
+            prop_assert_eq!(log.append(b.clone()).unwrap(), AppendOutcome::Appended);
+        }
+        // Every duplicate is ignored.
+        for b in &batches {
+            prop_assert_eq!(log.append(b.clone()).unwrap(), AppendOutcome::Duplicate);
+        }
+        prop_assert_eq!(log.tail_sn(), batches.len() as u64);
+        // Suffix reads see exactly the right batches.
+        for after in 0..=batches.len() {
+            let tail = log.read_after(after as u64).unwrap();
+            prop_assert_eq!(tail.len(), batches.len() - after);
+        }
+    }
+}
+
+// ---------------------------------------------------- replay determinism
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Invariant 4: namespace(journal replay) == namespace(live execution).
+    #[test]
+    fn replay_reproduces_live_execution(ops in prop::collection::vec(arb_txn(), 1..120)) {
+        let mut live = NamespaceTree::new();
+        let journaled = apply_random_ops(&mut live, &ops);
+
+        let mut replayed = NamespaceTree::new();
+        for txn in &journaled {
+            replayed.apply(txn).expect("journaled txns always replay");
+        }
+        prop_assert_eq!(live.fingerprint(), replayed.fingerprint());
+        prop_assert_eq!(live.num_files(), replayed.num_files());
+        prop_assert_eq!(live.num_dirs(), replayed.num_dirs());
+    }
+
+    /// Invariant 3: offering batches with duplications and stale repeats
+    /// through the cursor yields the same state as a clean sequential
+    /// replay (sn-based duplicate suppression).
+    #[test]
+    fn cursor_suppresses_duplicates(
+        ops in prop::collection::vec(arb_txn(), 1..80),
+        dup_pattern in prop::collection::vec(0usize..4, 1..40),
+    ) {
+        let mut source = NamespaceTree::new();
+        let journaled = apply_random_ops(&mut source, &ops);
+        prop_assume!(!journaled.is_empty());
+        // Pack into batches of 3.
+        let batches: Vec<JournalBatch> = journaled
+            .chunks(3)
+            .enumerate()
+            .map(|(i, chunk)| JournalBatch::new(i as u64 + 1, i as u64 * 3 + 1, chunk.to_vec()))
+            .collect();
+
+        // Clean replay.
+        let mut clean = NamespaceTree::new();
+        let mut cur = ReplayCursor::new();
+        for b in &batches {
+            let mut sink = |_: u64, t: &Txn| { let _ = clean.apply(t); };
+            cur.offer(b, &mut sink);
+        }
+
+        // Messy replay: after each batch, re-offer some earlier batches.
+        let mut messy = NamespaceTree::new();
+        let mut cur2 = ReplayCursor::new();
+        for (i, b) in batches.iter().enumerate() {
+            let mut sink = |_: u64, t: &Txn| { let _ = messy.apply(t); };
+            cur2.offer(b, &mut sink);
+            for &d in &dup_pattern {
+                if d <= i {
+                    let mut sink = |_: u64, t: &Txn| { let _ = messy.apply(t); };
+                    cur2.offer(&batches[d], &mut sink);
+                }
+            }
+        }
+        prop_assert_eq!(clean.fingerprint(), messy.fingerprint());
+        prop_assert_eq!(cur.max_sn(), cur2.max_sn());
+    }
+}
+
+// ------------------------------------------------------------- images
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Invariant: image encode/decode preserves the whole tree, and chunked
+    /// reassembly (the renewing transfer) is lossless at any chunk size.
+    #[test]
+    fn image_round_trips_and_chunks(
+        ops in prop::collection::vec(arb_txn(), 1..100),
+        chunk in 1u64..512,
+    ) {
+        let mut tree = NamespaceTree::new();
+        apply_random_ops(&mut tree, &ops);
+        let img = encode_image(&tree, 42);
+
+        let (decoded, sn) = decode_image(img.data.clone()).expect("round trip");
+        prop_assert_eq!(sn, 42);
+        prop_assert_eq!(decoded.fingerprint(), tree.fingerprint());
+
+        // Chunked reassembly.
+        let mut buf = Vec::new();
+        let mut off = 0;
+        loop {
+            let c = img.chunk(off, chunk);
+            if c.is_empty() {
+                break;
+            }
+            off += c.len() as u64;
+            buf.extend_from_slice(&c);
+        }
+        let (rebuilt, _) = decode_image(bytes::Bytes::from(buf)).expect("chunked round trip");
+        prop_assert_eq!(rebuilt.fingerprint(), tree.fingerprint());
+    }
+}
+
+// ----------------------------------------------------------- partition
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Invariant 8: every path maps to exactly one group, stably, and
+    /// structural transactions touch every group.
+    #[test]
+    fn partitioning_is_stable_and_total(path in abs_path(6), groups in 1u32..8) {
+        let p = Partitioner::new(groups);
+        let owner = p.owner(&path);
+        prop_assert!(owner < groups);
+        prop_assert_eq!(owner, p.owner(&path));
+        let structural = Txn::Mkdir { path: path.clone() };
+        prop_assert_eq!(p.groups_for(&structural).len(), groups as usize);
+        let file = Txn::Create { path, replication: 1 };
+        prop_assert_eq!(p.groups_for(&file), vec![owner]);
+    }
+}
