@@ -141,10 +141,10 @@ impl AvatarNode {
         let batch = JournalBatch::new(self.next_sn, 1, txns);
         self.next_sn += 1;
         self.awaiting_nfs.insert(req, replies);
-        ctx.send(self.nfs, PoolReq::AppendJournal { group: 0, epoch: 1, batch, req });
+        ctx.send(self.nfs, PoolReq::AppendJournal { group: 0, epoch: 1, batch: batch.into(), req });
     }
 
-    fn apply_tail(&mut self, batches: Vec<JournalBatch>) {
+    fn apply_tail(&mut self, batches: Vec<mams_journal::SharedBatch>) {
         for b in batches {
             let mut sink = |_: u64, t: &mams_journal::Txn| {
                 let _ = self.ns.apply(t);
@@ -200,13 +200,12 @@ impl Node for AvatarNode {
                     ctx.set_timer(self.spec.tail_interval, T_TAIL);
                 }
             }
-            T_SWITCH_DONE
-                if self.role == AvRole::Switching => {
-                    self.role = AvRole::Active;
-                    let me = ctx.id();
-                    self.coord.set(ctx, mams_core::keys::active(0), me.to_string(), true);
-                    ctx.trace("avatar.switch_done", String::new);
-                }
+            T_SWITCH_DONE if self.role == AvRole::Switching => {
+                self.role = AvRole::Active;
+                let me = ctx.id();
+                self.coord.set(ctx, mams_core::keys::active(0), me.to_string(), true);
+                ctx.trace("avatar.switch_done", String::new);
+            }
             _ => {}
         }
     }
@@ -271,10 +270,8 @@ impl Node for AvatarNode {
 pub fn build(sim: &mut Sim, coord: NodeId, spec: AvatarSpec) -> (NodeId, NodeId, NodeId) {
     let nfs_pool = new_shared_pool();
     let nfs_disk = DiskModel { op_overhead: spec.nfs_latency, bytes_per_sec: 80 * 1024 * 1024 };
-    let nfs = sim.add_node(
-        "avatar-nfs",
-        Box::new(PoolNode::new(nfs_pool).with_disks(nfs_disk, nfs_disk)),
-    );
+    let nfs = sim
+        .add_node("avatar-nfs", Box::new(PoolNode::new(nfs_pool).with_disks(nfs_disk, nfs_disk)));
     let active = sim.add_node("avatar-active", Box::new(AvatarNode::new(coord, nfs, spec, true)));
     let standby =
         sim.add_node("avatar-standby", Box::new(AvatarNode::new(coord, nfs, spec, false)));
@@ -301,7 +298,12 @@ mod tests {
         let cfg = ClientConfig::new(coord, Partitioner::new(1));
         sim.add_node(
             "client",
-            Box::new(FsClient::new(cfg, Workload::create_only(0), m.clone(), DetRng::seed_from_u64(3))),
+            Box::new(FsClient::new(
+                cfg,
+                Workload::create_only(0),
+                m.clone(),
+                DetRng::seed_from_u64(3),
+            )),
         );
         let kill = SimTime(10_000_000);
         sim.at(kill, move |s| s.crash(active));

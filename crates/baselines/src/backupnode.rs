@@ -56,7 +56,9 @@ impl Default for BackupNodeSpec {
 #[derive(Debug, Clone)]
 enum BnMsg {
     /// Asynchronous journal stream (never awaited).
-    Stream { batch: JournalBatch },
+    Stream {
+        batch: JournalBatch,
+    },
     Ping,
     Pong,
 }
@@ -197,8 +199,7 @@ impl Node for BnNode {
             }
             T_PING => {
                 if self.role == BnRole::Backup {
-                    if ctx.now().micros().saturating_sub(self.last_pong_us)
-                        > DETECT_BUDGET.micros()
+                    if ctx.now().micros().saturating_sub(self.last_pong_us) > DETECT_BUDGET.micros()
                     {
                         self.begin_takeover(ctx);
                     } else {
@@ -308,7 +309,12 @@ mod tests {
         let cfg = ClientConfig::new(coord, Partitioner::new(1));
         sim.add_node(
             "client",
-            Box::new(FsClient::new(cfg, Workload::create_only(0), m.clone(), DetRng::seed_from_u64(1))),
+            Box::new(FsClient::new(
+                cfg,
+                Workload::create_only(0),
+                m.clone(),
+                DetRng::seed_from_u64(1),
+            )),
         );
         let kill = SimTime(10_000_000);
         sim.at(kill, move |s| s.crash(primary));

@@ -148,10 +148,8 @@ impl BoomFsServer {
             self.coord.set(ctx, mams_core::keys::active(0), me.to_string(), true);
             self.published = true;
         } else if !leading && self.published {
-            self.coord.multi(
-                ctx,
-                vec![mams_coord::KeyOp::Delete { key: mams_core::keys::active(0) }],
-            );
+            self.coord
+                .multi(ctx, vec![mams_coord::KeyOp::Delete { key: mams_core::keys::active(0) }]);
             self.published = false;
         }
     }
@@ -295,7 +293,12 @@ mod tests {
         cfg.start_delay = Duration::from_secs(10);
         sim.add_node(
             "client",
-            Box::new(FsClient::new(cfg, Workload::create_only(0), m.clone(), DetRng::seed_from_u64(6))),
+            Box::new(FsClient::new(
+                cfg,
+                Workload::create_only(0),
+                m.clone(),
+                DetRng::seed_from_u64(6),
+            )),
         );
         // Kill whichever member is the published leader at t=30s.
         let kill = SimTime(30_000_000);

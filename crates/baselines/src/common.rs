@@ -40,10 +40,9 @@ pub fn exec_op(
     op: &FsOp,
 ) -> Result<(Option<Txn>, OpOutput), String> {
     match op {
-        FsOp::GetFileInfo { path } => ns
-            .getfileinfo(path)
-            .map(|i| (None, OpOutput::Info(i)))
-            .map_err(|e| e.to_string()),
+        FsOp::GetFileInfo { path } => {
+            ns.getfileinfo(path).map(|i| (None, OpOutput::Info(i))).map_err(|e| e.to_string())
+        }
         FsOp::List { path } => {
             ns.list(path).map(|l| (None, OpOutput::Listing(l))).map_err(|e| e.to_string())
         }

@@ -144,7 +144,7 @@ impl HaNameNode {
         }
         let replies = std::mem::take(&mut self.pending);
         let txns = std::mem::take(&mut self.pending_txns);
-        let batch = JournalBatch::new(self.next_sn, 1, txns);
+        let batch = mams_journal::SharedBatch::new(JournalBatch::new(self.next_sn, 1, txns));
         self.next_sn += 1;
         let req = self.next_req;
         self.next_req += 1;
@@ -152,12 +152,12 @@ impl HaNameNode {
         for &jn in &self.journals {
             ctx.send(
                 jn,
-                PoolReq::AppendJournal { group: 0, epoch: self.epoch, batch: batch.clone(), req },
+                PoolReq::AppendJournal { group: 0, epoch: self.epoch, batch: batch.share(), req },
             );
         }
     }
 
-    fn apply_tail(&mut self, batches: Vec<JournalBatch>) {
+    fn apply_tail(&mut self, batches: Vec<mams_journal::SharedBatch>) {
         for b in batches {
             let mut sink = |_: u64, t: &mams_journal::Txn| {
                 let _ = self.ns.apply(t);
@@ -224,18 +224,16 @@ impl Node for HaNameNode {
                 }
                 ctx.set_timer(self.spec.flush_interval, T_FLUSH);
             }
-            T_TAIL
-                if self.role != HaRole::Active => {
-                    self.request_tail(ctx);
-                    ctx.set_timer(self.spec.tail_interval, T_TAIL);
-                }
-            T_TRANSITION_DONE
-                if self.role == HaRole::Transitioning => {
-                    self.role = HaRole::Active;
-                    let me = ctx.id();
-                    self.coord.set(ctx, mams_core::keys::active(0), me.to_string(), true);
-                    ctx.trace("ha.transition_done", String::new);
-                }
+            T_TAIL if self.role != HaRole::Active => {
+                self.request_tail(ctx);
+                ctx.set_timer(self.spec.tail_interval, T_TAIL);
+            }
+            T_TRANSITION_DONE if self.role == HaRole::Transitioning => {
+                self.role = HaRole::Active;
+                let me = ctx.id();
+                self.coord.set(ctx, mams_core::keys::active(0), me.to_string(), true);
+                ctx.trace("ha.transition_done", String::new);
+            }
             _ => {}
         }
     }
@@ -317,18 +315,15 @@ pub fn build(sim: &mut Sim, coord: NodeId, spec: HadoopHaSpec) -> (NodeId, NodeI
     for i in 0..spec.journal_nodes {
         // Each journal node has its *own* storage (quorum semantics).
         let pool = new_shared_pool();
-        journals.push(
-            sim.add_node(format!("jn-{i}"), Box::new(PoolNode::new(pool).with_disks(jn_disk, jn_disk))),
-        );
+        journals.push(sim.add_node(
+            format!("jn-{i}"),
+            Box::new(PoolNode::new(pool).with_disks(jn_disk, jn_disk)),
+        ));
     }
-    let active = sim.add_node(
-        "ha-active",
-        Box::new(HaNameNode::new(coord, journals.clone(), spec, true)),
-    );
-    let standby = sim.add_node(
-        "ha-standby",
-        Box::new(HaNameNode::new(coord, journals.clone(), spec, false)),
-    );
+    let active =
+        sim.add_node("ha-active", Box::new(HaNameNode::new(coord, journals.clone(), spec, true)));
+    let standby =
+        sim.add_node("ha-standby", Box::new(HaNameNode::new(coord, journals.clone(), spec, false)));
     (active, standby, journals)
 }
 
@@ -352,7 +347,12 @@ mod tests {
         let cfg = ClientConfig::new(coord, Partitioner::new(1));
         sim.add_node(
             "client",
-            Box::new(FsClient::new(cfg, Workload::create_only(0), m.clone(), DetRng::seed_from_u64(4))),
+            Box::new(FsClient::new(
+                cfg,
+                Workload::create_only(0),
+                m.clone(),
+                DetRng::seed_from_u64(4),
+            )),
         );
         let kill = SimTime(10_000_000);
         sim.at(kill, move |s| s.crash(active));

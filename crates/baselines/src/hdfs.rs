@@ -174,12 +174,7 @@ mod tests {
         let cfg = ClientConfig::new(coord, Partitioner::new(1));
         sim.add_node(
             "client",
-            Box::new(FsClient::new(
-                cfg,
-                Workload::mixed(0),
-                m.clone(),
-                DetRng::seed_from_u64(1),
-            )),
+            Box::new(FsClient::new(cfg, Workload::mixed(0), m.clone(), DetRng::seed_from_u64(1))),
         );
         sim.run_for(Duration::from_secs(10));
         assert!(m.ok_count() > 500, "got {}", m.ok_count());

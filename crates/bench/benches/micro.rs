@@ -88,8 +88,7 @@ fn bench_paxos(c: &mut Criterion) {
             || vec![Acceptor::new(); 5],
             |mut acceptors| {
                 let ballot = Ballot::new(1, 0);
-                let mut p =
-                    Proposer::new(0, 5, ballot, bytes::Bytes::from_static(b"value"));
+                let mut p = Proposer::new(0, 5, ballot, bytes::Bytes::from_static(b"value"));
                 let mut accepts = None;
                 for (i, a) in acceptors.iter_mut().enumerate() {
                     let r = a.on_prepare(ballot);

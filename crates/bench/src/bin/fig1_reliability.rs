@@ -5,7 +5,8 @@ use mams_bench::{print_table, save_json};
 use mams_sim::reliability::{reliability_series, system_mtbf_hours};
 
 fn main() {
-    let counts: Vec<u64> = vec![1, 10, 100, 1_000, 5_000, 10_000, 50_000, 100_000, 131_000, 200_000];
+    let counts: Vec<u64> =
+        vec![1, 10, 100, 1_000, 5_000, 10_000, 50_000, 100_000, 131_000, 200_000];
     let mission_hours = 24.0;
     let lo = reliability_series(&counts, 1e5, mission_hours);
     let hi = reliability_series(&counts, 1e6, mission_hours);

@@ -92,8 +92,7 @@ fn run_system(name: &str) -> f64 {
 }
 
 fn main() {
-    let systems =
-        ["HDFS", "BackupNode", "CFS (MAMS-1A3S)", "AvatarNode", "Hadoop HA", "Boom-FS"];
+    let systems = ["HDFS", "BackupNode", "CFS (MAMS-1A3S)", "AvatarNode", "Hadoop HA", "Boom-FS"];
     let mut rows = Vec::new();
     let mut json = serde_json::Map::new();
     let mut hdfs_tput = 0.0;

@@ -77,14 +77,20 @@ fn main() {
     }
     print_table(
         "Figure 7: MAMS failover stages (excluding the 5 s session timeout)",
-        &["run", "election ms", "switch ms", "reconnect ms", "total ms", "elec %", "switch %", "reconn %"],
+        &[
+            "run",
+            "election ms",
+            "switch ms",
+            "reconnect ms",
+            "total ms",
+            "elec %",
+            "switch %",
+            "reconn %",
+        ],
         &rows,
     );
     println!("\nShape checks (paper):");
-    println!(
-        "  * election under 100 ms in every run: {}",
-        if ok_elect { "yes" } else { "NO" }
-    );
+    println!("  * election under 100 ms in every run: {}", if ok_elect { "yes" } else { "NO" });
     println!("  * client reconnection dominates as total failover time grows");
     save_json("fig7_stage_breakdown", &serde_json::json!({ "runs": json_rows }));
 }

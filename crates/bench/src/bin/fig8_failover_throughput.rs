@@ -7,7 +7,10 @@
 //! recovery (retried requests draining), and returns to the pre-fault
 //! level.
 
-use mams_bench::{crash_current_active_at, expire_current_active_at, print_table, save_json, unplug_current_active_at};
+use mams_bench::{
+    crash_current_active_at, expire_current_active_at, print_table, save_json,
+    unplug_current_active_at,
+};
 use mams_cluster::deploy::{build, DeploySpec};
 use mams_cluster::metrics::Metrics;
 use mams_cluster::workload::Workload;
@@ -17,7 +20,10 @@ const CLIENTS: u32 = 8;
 const RUN_SECS: u64 = 240;
 const INJECT_SECS: [u64; 3] = [60, 120, 180];
 
-fn run(label: &str, schedule: impl FnOnce(&mut Sim, &mams_cluster::deploy::Deployment)) -> Vec<u64> {
+fn run(
+    label: &str,
+    schedule: impl FnOnce(&mut Sim, &mams_cluster::deploy::Deployment),
+) -> Vec<u64> {
     let mut sim = Sim::new(SimConfig { seed: 0xF168, trace: true, ..SimConfig::default() });
     let mut d =
         build(&mut sim, DeploySpec { groups: 1, standbys_per_group: 3, ..DeploySpec::default() });
@@ -45,10 +51,7 @@ fn run(label: &str, schedule: impl FnOnce(&mut Sim, &mams_cluster::deploy::Deplo
         let dip = *ps[i..i + 8].iter().min().expect("window");
         let recovered: u64 = ps[i + 15..(i + 35).min(ps.len())].iter().sum::<u64>()
             / (35 - 15).min(ps.len() - i - 15) as u64;
-        assert!(
-            dip < steady / 4,
-            "{label}: no visible dip at {inj}s (dip {dip}, steady {steady})"
-        );
+        assert!(dip < steady / 4, "{label}: no visible dip at {inj}s (dip {dip}, steady {steady})");
         assert!(
             recovered > steady * 7 / 10,
             "{label}: no recovery after {inj}s (rec {recovered}, steady {steady})"
@@ -75,6 +78,9 @@ fn main() {
             crash_current_active_at(sim, SimTime(t * 1_000_000), Duration::from_secs(12));
         }
     });
+    // The offline `json!` stand-in discards its arguments; keep the series
+    // visibly used in every build.
+    let _ = (&a, &b, &c);
     save_json(
         "fig8_failover_throughput",
         &serde_json::json!({ "test_a": a, "test_b": b, "test_c": c }),

@@ -110,11 +110,15 @@ fn main() {
     assert!(map_gain > 0.0, "CFS must beat Boom-FS on map completion under failure");
 
     let cdf = |s: &JobStats| {
+        // The offline `json!` stand-in discards its arguments; keep `s`
+        // visibly used in every build.
+        let _ = s;
         serde_json::json!({
             "maps": JobStats::cdf(&s.maps_done()).iter().map(|(t, f)| serde_json::json!([secs(*t), f])).collect::<Vec<_>>(),
             "reduces": JobStats::cdf(&s.reduces_done()).iter().map(|(t, f)| serde_json::json!([secs(*t), f])).collect::<Vec<_>>(),
         })
     };
+    let _ = &cdf;
     save_json(
         "fig9_mapreduce_failover",
         &serde_json::json!({

@@ -41,8 +41,7 @@ fn run_one(system: &str, image_mb: u64, seed: u64) -> Option<f64> {
             sim.at(KILL_AT, move |s| s.crash(victim));
         }
         _ => {
-            let coord =
-                sim.add_node("coord", Box::new(CoordServer::new(CoordConfig::default())));
+            let coord = sim.add_node("coord", Box::new(CoordServer::new(CoordConfig::default())));
             let victim = match system {
                 "BackupNode" => {
                     let spec = backupnode::BackupNodeSpec {
@@ -113,7 +112,10 @@ fn main() {
 
     let n = IMAGE_MB.len() as f64;
     let avg: Vec<f64> = sums.iter().map(|s| s / n).collect();
-    println!("\nAverage MTTR: MAMS {:.2}s, BackupNode {:.2}s, Avatar {:.2}s, HA {:.2}s", avg[0], avg[1], avg[2], avg[3]);
+    println!(
+        "\nAverage MTTR: MAMS {:.2}s, BackupNode {:.2}s, Avatar {:.2}s, HA {:.2}s",
+        avg[0], avg[1], avg[2], avg[3]
+    );
     println!(
         "MAMS average failover time is {:.2}% of BackupNode, {:.2}% of Avatar, {:.2}% of HA",
         avg[0] / avg[1] * 100.0,

@@ -139,10 +139,7 @@ pub fn reconstruct_states(sim: &Sim, members: &[NodeId]) -> Vec<(f64, Vec<String
     let mut current: HashMap<NodeId, String> = HashMap::new();
     let mut rows: Vec<(f64, Vec<String>)> = Vec::new();
     let snapshot = |current: &HashMap<NodeId, String>| -> Vec<String> {
-        members
-            .iter()
-            .map(|m| current.get(m).cloned().unwrap_or_else(|| "-".to_string()))
-            .collect()
+        members.iter().map(|m| current.get(m).cloned().unwrap_or_else(|| "-".to_string())).collect()
     };
     for e in sim.trace().events() {
         let changed = match e.tag {

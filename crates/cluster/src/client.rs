@@ -126,8 +126,14 @@ impl FsClient {
         };
         self.seq += 1;
         let group = self.cfg.partitioner.owner(op.primary_path());
-        self.outstanding =
-            Some(Outstanding { op, seq: self.seq, issued: ctx.now(), attempts: 0, group, is_setup });
+        self.outstanding = Some(Outstanding {
+            op,
+            seq: self.seq,
+            issued: ctx.now(),
+            attempts: 0,
+            group,
+            is_setup,
+        });
         self.attempt(ctx);
     }
 
@@ -217,9 +223,7 @@ impl Node for FsClient {
                                 // failure; trace it for diagnosis.
                                 let err = result.as_ref().err().cloned().unwrap_or_default();
                                 let op = self.outstanding.as_ref().map(|o| format!("{:?}", o.op));
-                                ctx.trace("client.op_failed", || {
-                                    format!("{op:?}: {err}")
-                                });
+                                ctx.trace("client.op_failed", || format!("{op:?}: {err}"));
                             }
                             self.finish(ctx, ok);
                         }
@@ -255,8 +259,7 @@ impl Node for FsClient {
                     // First attempt may have been swallowed by missing
                     // routing; resend immediately rather than waiting for
                     // the timeout.
-                    let (seq, group, op) =
-                        (o.seq, o.group, o.op.clone());
+                    let (seq, group, op) = (o.seq, o.group, o.op.clone());
                     if let Some(&active) = self.actives.get(&group) {
                         ctx.send(active, MdsReq::Op { op, seq });
                     }

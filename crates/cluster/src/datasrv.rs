@@ -102,9 +102,7 @@ mod tests {
         let sink = sim.add_node("mds", Box::new(Sink { reports: reports.clone() }));
         let ds = sim.add_node(
             "ds",
-            Box::new(
-                DataServer::new(7, vec![sink], Duration::from_secs(1)).with_blocks([1, 2, 3]),
-            ),
+            Box::new(DataServer::new(7, vec![sink], Duration::from_secs(1)).with_blocks([1, 2, 3])),
         );
         sim.run_for(Duration::from_millis(2_500));
         {

@@ -63,11 +63,7 @@ impl DeploySpec {
     /// must divide evenly.
     pub fn mams(actives: u32, standbys_total: u32) -> Self {
         assert!(actives >= 1);
-        assert_eq!(
-            standbys_total % actives,
-            0,
-            "paper configurations distribute standbys evenly"
-        );
+        assert_eq!(standbys_total % actives, 0, "paper configurations distribute standbys evenly");
         DeploySpec {
             groups: actives,
             standbys_per_group: (standbys_total / actives) as usize,

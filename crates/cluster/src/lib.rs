@@ -20,7 +20,7 @@ pub mod workload;
 
 pub use client::{ClientConfig, FsClient};
 pub use datasrv::DataServer;
-pub use deploy::{Deployment, DeploySpec};
+pub use deploy::{DeploySpec, Deployment};
 pub use metrics::{Completion, Metrics};
 pub use mttr::{mttr_from_completions, OutageStats};
 pub use workload::Workload;

@@ -32,9 +32,8 @@ impl OutageStats {
 pub fn mttr_from_completions(
     completions: &[Completion],
     injected_at_us: &[u64],
-    ) -> Vec<OutageStats> {
-    let successes: Vec<u64> =
-        completions.iter().filter(|c| c.ok).map(|c| c.at_us).collect();
+) -> Vec<OutageStats> {
+    let successes: Vec<u64> = completions.iter().filter(|c| c.ok).map(|c| c.at_us).collect();
     let mut out = Vec::new();
     for &inj in injected_at_us {
         // Last success at or before the injection, first success after.

@@ -113,28 +113,26 @@ impl Workload {
                 *cursor += 1;
                 Some(FsOp::Rename { src: format!("{dir}/f{i}"), dst: format!("{dir}/r{i}") })
             }
-            Workload::Mixed { dir, files, dirs } => {
-                match rng.below(3) {
-                    0 => {
-                        let p = format!("{dir}/f{files}");
-                        *files += 1;
-                        Some(FsOp::Create { path: p, replication: 3 })
-                    }
-                    1 => {
-                        if *files == 0 {
-                            Some(FsOp::GetFileInfo { path: dir.clone() })
-                        } else {
-                            let i = rng.below(*files);
-                            Some(FsOp::GetFileInfo { path: format!("{dir}/f{i}") })
-                        }
-                    }
-                    _ => {
-                        let p = format!("{dir}/d{dirs}");
-                        *dirs += 1;
-                        Some(FsOp::Mkdir { path: p })
+            Workload::Mixed { dir, files, dirs } => match rng.below(3) {
+                0 => {
+                    let p = format!("{dir}/f{files}");
+                    *files += 1;
+                    Some(FsOp::Create { path: p, replication: 3 })
+                }
+                1 => {
+                    if *files == 0 {
+                        Some(FsOp::GetFileInfo { path: dir.clone() })
+                    } else {
+                        let i = rng.below(*files);
+                        Some(FsOp::GetFileInfo { path: format!("{dir}/f{i}") })
                     }
                 }
-            }
+                _ => {
+                    let p = format!("{dir}/d{dirs}");
+                    *dirs += 1;
+                    Some(FsOp::Mkdir { path: p })
+                }
+            },
             Workload::CreateMkdir { dir, next } => {
                 let i = *next;
                 *next += 1;

@@ -47,16 +47,9 @@ fn active_crash_fails_over_and_service_resumes() {
     faults::schedule_crash(&mut s, active, kill_at);
     s.run_for(Duration::from_secs(60));
 
-    let before = m
-        .completions()
-        .iter()
-        .filter(|c| c.ok && c.at_us < kill_at.micros())
-        .count();
-    let after = m
-        .completions()
-        .iter()
-        .filter(|c| c.ok && c.at_us > kill_at.micros() + 15_000_000)
-        .count();
+    let before = m.completions().iter().filter(|c| c.ok && c.at_us < kill_at.micros()).count();
+    let after =
+        m.completions().iter().filter(|c| c.ok && c.at_us > kill_at.micros() + 15_000_000).count();
     assert!(before > 100, "pre-failure traffic too thin: {before}");
     assert!(after > 100, "service did not resume: {after} ops after failover");
 
@@ -183,7 +176,9 @@ fn test_b_unplug_expires_members_and_they_rejoin() {
     let rejoined = trace.events().iter().any(|e| {
         e.node == standby
             && e.time > SimTime(23_000_000)
-            && (e.tag == "member.registered_standby" || e.tag == "renew.promoted" || e.tag == "member.registered_junior")
+            && (e.tag == "member.registered_standby"
+                || e.tag == "renew.promoted"
+                || e.tag == "member.registered_junior")
     });
     assert!(rejoined, "unplugged standby never rejoined");
 }
@@ -245,7 +240,8 @@ fn backup_nodes_can_be_added_at_runtime() {
         sim.crash(orig_standby);
     });
     s.run_for(Duration::from_secs(20));
-    let late = m.completions().iter().filter(|c| c.ok && c.at_us > s.now().micros() - 5_000_000).count();
+    let late =
+        m.completions().iter().filter(|c| c.ok && c.at_us > s.now().micros() - 5_000_000).count();
     assert!(late > 100, "added backups failed to take over ({late})");
     let winner = s
         .trace()
@@ -330,7 +326,11 @@ fn block_write_path_survives_failover() {
     faults::schedule_crash(&mut s, active, SimTime(6_000_000));
     s.run_for(Duration::from_secs(10));
     let m2 = Metrics::new(true);
-    d.add_client(&mut s, Workload::script(vec![FsOp::GetFileInfo { path: "/w/f".into() }]), m2.clone());
+    d.add_client(
+        &mut s,
+        Workload::script(vec![FsOp::GetFileInfo { path: "/w/f".into() }]),
+        m2.clone(),
+    );
     s.run_for(Duration::from_secs(10));
     assert_eq!(m2.ok_count(), 1, "file metadata must survive the failover");
     // Blocks and the seal are part of the journaled state.
@@ -367,8 +367,7 @@ fn automatic_checkpoints_bound_the_shared_journal() {
     s.run_for(Duration::from_secs(45));
 
     // Several checkpoints happened and the journal stayed compacted.
-    let checkpoints =
-        s.trace().events().iter().filter(|e| e.tag == "checkpoint.done").count();
+    let checkpoints = s.trace().events().iter().filter(|e| e.tag == "checkpoint.done").count();
     assert!(checkpoints >= 3, "only {checkpoints} checkpoints");
     let pool = d.shared_pool.lock();
     let g = pool.group(0).expect("journal");

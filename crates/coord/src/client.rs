@@ -87,7 +87,13 @@ impl CoordClient {
     }
 
     /// Convenience: set one key.
-    pub fn set(&mut self, ctx: &mut Ctx<'_>, key: impl Into<String>, value: impl Into<String>, ephemeral: bool) -> ReqId {
+    pub fn set(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        key: impl Into<String>,
+        value: impl Into<String>,
+        ephemeral: bool,
+    ) -> ReqId {
         self.multi(ctx, vec![KeyOp::Set { key: key.into(), value: value.into(), ephemeral }])
     }
 
@@ -138,7 +144,10 @@ mod tests {
         let resp = Message::new(CoordResp::Registered);
         assert!(matches!(CoordClient::classify(resp), Ok(Incoming::Resp(CoordResp::Registered))));
         let ev = Message::new(CoordEvent::SessionExpired);
-        assert!(matches!(CoordClient::classify(ev), Ok(Incoming::Event(CoordEvent::SessionExpired))));
+        assert!(matches!(
+            CoordClient::classify(ev),
+            Ok(Incoming::Event(CoordEvent::SessionExpired))
+        ));
         let other = Message::new(42u32);
         let back = CoordClient::classify(other).unwrap_err();
         assert!(back.is::<u32>());

@@ -43,13 +43,37 @@ pub enum CoordReq {
 #[derive(Debug, Clone)]
 pub enum CoordResp {
     Registered,
-    MultiOk { req: ReqId },
-    Value { key: String, value: Option<String>, req: ReqId },
-    Listing { prefix: String, entries: Vec<(String, String)>, req: ReqId },
-    Watching { prefix: String, req: ReqId },
-    LockGranted { path: String, epoch: u64, req: ReqId },
-    LockBusy { path: String, holder: u32, req: ReqId },
-    LockReleased { path: String, req: ReqId },
+    MultiOk {
+        req: ReqId,
+    },
+    Value {
+        key: String,
+        value: Option<String>,
+        req: ReqId,
+    },
+    Listing {
+        prefix: String,
+        entries: Vec<(String, String)>,
+        req: ReqId,
+    },
+    Watching {
+        prefix: String,
+        req: ReqId,
+    },
+    LockGranted {
+        path: String,
+        epoch: u64,
+        req: ReqId,
+    },
+    LockBusy {
+        path: String,
+        holder: u32,
+        req: ReqId,
+    },
+    LockReleased {
+        path: String,
+        req: ReqId,
+    },
     /// The sender has no live session (it must re-register).
     NoSession,
 }

@@ -247,8 +247,7 @@ impl Node for CoordServer {
                 }
             }
             CoordReq::ReleaseLock { path, req } => {
-                let is_holder =
-                    self.locks.get(&path).is_some_and(|l| l.holder == Some(from));
+                let is_holder = self.locks.get(&path).is_some_and(|l| l.holder == Some(from));
                 if is_holder {
                     self.release_lock(ctx, &path, false);
                 }
@@ -295,14 +294,13 @@ mod tests {
         }
         fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
             match token {
-                T_STEP
-                    if !self.script.is_empty() => {
-                        let (_, req) = self.script.remove(0);
-                        ctx.send(self.coord, req);
-                        if let Some((d, _)) = self.script.first() {
-                            ctx.set_timer(*d, T_STEP);
-                        }
+                T_STEP if !self.script.is_empty() => {
+                    let (_, req) = self.script.remove(0);
+                    ctx.send(self.coord, req);
+                    if let Some((d, _)) = self.script.first() {
+                        ctx.set_timer(*d, T_STEP);
                     }
+                }
                 T_HB => {
                     ctx.send(self.coord, CoordReq::Heartbeat);
                     ctx.set_timer(Duration::from_secs(2), T_HB);
@@ -340,7 +338,10 @@ mod tests {
                 coord,
                 script: vec![
                     (Duration::from_millis(10), CoordReq::AcquireLock { path: "L".into(), req: 1 }),
-                    (Duration::from_millis(500), CoordReq::ReleaseLock { path: "L".into(), req: 2 }),
+                    (
+                        Duration::from_millis(500),
+                        CoordReq::ReleaseLock { path: "L".into(), req: 2 },
+                    ),
                 ],
                 heartbeats: true,
                 log: log_a.clone(),
@@ -351,8 +352,14 @@ mod tests {
             Box::new(Scripted {
                 coord,
                 script: vec![
-                    (Duration::from_millis(100), CoordReq::AcquireLock { path: "L".into(), req: 1 }),
-                    (Duration::from_millis(900), CoordReq::AcquireLock { path: "L".into(), req: 2 }),
+                    (
+                        Duration::from_millis(100),
+                        CoordReq::AcquireLock { path: "L".into(), req: 1 },
+                    ),
+                    (
+                        Duration::from_millis(900),
+                        CoordReq::AcquireLock { path: "L".into(), req: 2 },
+                    ),
                 ],
                 heartbeats: true,
                 log: log_b.clone(),
@@ -361,7 +368,10 @@ mod tests {
         sim.run_for(Duration::from_secs(3));
         assert!(contains(&log_a, "LockGranted { path: \"L\", epoch: 1"));
         assert!(contains(&log_b, "LockBusy"), "b's early attempt must be refused");
-        assert!(contains(&log_b, "LockGranted { path: \"L\", epoch: 2"), "b gets it after release, with a higher epoch");
+        assert!(
+            contains(&log_b, "LockGranted { path: \"L\", epoch: 2"),
+            "b gets it after release, with a higher epoch"
+        );
     }
 
     #[test]
@@ -377,7 +387,10 @@ mod tests {
             Box::new(Scripted {
                 coord,
                 script: vec![
-                    (Duration::from_millis(10), CoordReq::AcquireLock { path: "g/0/lock".into(), req: 1 }),
+                    (
+                        Duration::from_millis(10),
+                        CoordReq::AcquireLock { path: "g/0/lock".into(), req: 1 },
+                    ),
                     (
                         Duration::from_millis(10),
                         CoordReq::Multi {
@@ -398,7 +411,10 @@ mod tests {
             "watcher",
             Box::new(Scripted {
                 coord,
-                script: vec![(Duration::from_millis(5), CoordReq::Watch { prefix: "g/0/".into(), req: 1 })],
+                script: vec![(
+                    Duration::from_millis(5),
+                    CoordReq::Watch { prefix: "g/0/".into(), req: 1 },
+                )],
                 heartbeats: true,
                 log: log_watcher.clone(),
             }),
@@ -406,7 +422,10 @@ mod tests {
         sim.run_for(Duration::from_secs(8));
         // Expiry happens after ~5s: watcher sees lock freed + key deleted.
         assert!(contains(&log_watcher, "LockFreed"), "{:?}", log_watcher.lock());
-        assert!(contains(&log_watcher, "KeyChanged { key: \"g/0/active\", value: None, by_expiry: true"));
+        assert!(contains(
+            &log_watcher,
+            "KeyChanged { key: \"g/0/active\", value: None, by_expiry: true"
+        ));
         assert!(contains(&log_dead, "SessionExpired"));
     }
 
@@ -419,7 +438,10 @@ mod tests {
             "steady",
             Box::new(Scripted {
                 coord,
-                script: vec![(Duration::from_millis(10), CoordReq::AcquireLock { path: "L".into(), req: 1 })],
+                script: vec![(
+                    Duration::from_millis(10),
+                    CoordReq::AcquireLock { path: "L".into(), req: 1 },
+                )],
                 heartbeats: true,
                 log: log.clone(),
             }),
@@ -443,20 +465,41 @@ mod tests {
                         Duration::from_millis(10),
                         CoordReq::Multi {
                             ops: vec![
-                                KeyOp::Set { key: "g/0/state/1".into(), value: "A".into(), ephemeral: false },
-                                KeyOp::Set { key: "g/0/state/2".into(), value: "S".into(), ephemeral: false },
-                                KeyOp::Set { key: "g/1/state/9".into(), value: "J".into(), ephemeral: false },
+                                KeyOp::Set {
+                                    key: "g/0/state/1".into(),
+                                    value: "A".into(),
+                                    ephemeral: false,
+                                },
+                                KeyOp::Set {
+                                    key: "g/0/state/2".into(),
+                                    value: "S".into(),
+                                    ephemeral: false,
+                                },
+                                KeyOp::Set {
+                                    key: "g/1/state/9".into(),
+                                    value: "J".into(),
+                                    ephemeral: false,
+                                },
                             ],
                             req: 1,
                         },
                     ),
                     (Duration::from_millis(10), CoordReq::List { prefix: "g/0/".into(), req: 2 }),
-                    (Duration::from_millis(10), CoordReq::Get { key: "g/1/state/9".into(), req: 3 }),
                     (
                         Duration::from_millis(10),
-                        CoordReq::Multi { ops: vec![KeyOp::Delete { key: "g/1/state/9".into() }], req: 4 },
+                        CoordReq::Get { key: "g/1/state/9".into(), req: 3 },
                     ),
-                    (Duration::from_millis(10), CoordReq::Get { key: "g/1/state/9".into(), req: 5 }),
+                    (
+                        Duration::from_millis(10),
+                        CoordReq::Multi {
+                            ops: vec![KeyOp::Delete { key: "g/1/state/9".into() }],
+                            req: 4,
+                        },
+                    ),
+                    (
+                        Duration::from_millis(10),
+                        CoordReq::Get { key: "g/1/state/9".into(), req: 5 },
+                    ),
                 ],
                 heartbeats: true,
                 log: log.clone(),
@@ -574,14 +617,13 @@ mod more_tests {
             }),
         );
         sim.run_for(mams_sim::Duration::from_secs(1));
-        let grants: Vec<String> = log
-            .lock()
-            .iter()
-            .filter(|l| l.contains("LockGranted"))
-            .cloned()
-            .collect();
+        let grants: Vec<String> =
+            log.lock().iter().filter(|l| l.contains("LockGranted")).cloned().collect();
         assert_eq!(grants.len(), 2, "{grants:?}");
-        assert!(grants.iter().all(|g| g.contains("epoch: 1")), "re-grant must not bump the epoch: {grants:?}");
+        assert!(
+            grants.iter().all(|g| g.contains("epoch: 1")),
+            "re-grant must not bump the epoch: {grants:?}"
+        );
     }
 
     #[test]
@@ -600,7 +642,11 @@ mod more_tests {
                     CoordReq::Expire,
                     CoordReq::Register,
                     CoordReq::Multi {
-                        ops: vec![KeyOp::Set { key: "k/x".into(), value: "1".into(), ephemeral: false }],
+                        ops: vec![KeyOp::Set {
+                            key: "k/x".into(),
+                            value: "1".into(),
+                            ephemeral: false,
+                        }],
                         req: 2,
                     },
                 ],

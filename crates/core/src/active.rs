@@ -1,7 +1,7 @@
 //! Active-role behaviour: serving client operations, journal batching and
 //! synchronization, distributed transactions, checkpoints.
 
-use mams_journal::{JournalBatch, ReplayCursor, Sn, Txn};
+use mams_journal::{JournalBatch, ReplayCursor, SharedBatch, Sn, Txn};
 use mams_sim::{Ctx, NodeId};
 use mams_storage::pool::PoolError;
 use mams_storage::proto::{PoolReq, PoolResp};
@@ -81,7 +81,10 @@ impl MdsServer {
                 .ns
                 .create(path, *replication)
                 .map(|info| {
-                    (Txn::Create { path: path.clone(), replication: *replication }, OpOutput::Info(info))
+                    (
+                        Txn::Create { path: path.clone(), replication: *replication },
+                        OpOutput::Info(info),
+                    )
                 })
                 .map_err(|e| e.to_string()),
             FsOp::Mkdir { path } => self
@@ -92,7 +95,9 @@ impl MdsServer {
             FsOp::Delete { path, recursive } => self
                 .ns
                 .delete(path, *recursive)
-                .map(|_| (Txn::Delete { path: path.clone(), recursive: *recursive }, OpOutput::Done))
+                .map(|_| {
+                    (Txn::Delete { path: path.clone(), recursive: *recursive }, OpOutput::Done)
+                })
                 .map_err(|e| e.to_string()),
             FsOp::Rename { src, dst } => self
                 .ns
@@ -189,6 +194,10 @@ impl MdsServer {
     /// Seal the pending mutations into a `⟨sn, txid⟩` batch, append it to
     /// the SSP, and synchronize it to the standbys. Replies are released
     /// when the SSP and every current standby have acknowledged.
+    ///
+    /// The batch is encoded to its wire form exactly once, here; every
+    /// fan-out leg (own log, each standby's `SyncJournal`, the SSP append,
+    /// later retries) shares the same sealed allocation.
     pub(crate) fn flush_batch(&mut self, ctx: &mut Ctx<'_>) {
         if self.pending.is_empty() {
             return;
@@ -197,9 +206,9 @@ impl MdsServer {
         let first_txid = self.next_txid;
         let records: Vec<Txn> = ops.iter().map(|o| o.txn.clone()).collect();
         let sn = self.log.tail_sn() + 1;
-        let batch = JournalBatch::new(sn, first_txid, records);
+        let batch = SharedBatch::sealed(JournalBatch::new(sn, first_txid, records));
         self.next_txid = batch.last_txid() + 1;
-        self.log.append(batch.clone()).expect("own batch is contiguous");
+        self.log.append(batch.share()).expect("own batch is contiguous");
         self.cursor = ReplayCursor::at(sn);
 
         let mut inflight = Inflight {
@@ -218,9 +227,7 @@ impl MdsServer {
             }
             match &op.reply {
                 ReplyTo::XGroup { .. } => inflight.xg_replies.push((op.reply, Ok(op.output))),
-                ReplyTo::Client { .. } => {
-                    inflight.client_replies.push((op.reply, Ok(op.output)))
-                }
+                ReplyTo::Client { .. } => inflight.client_replies.push((op.reply, Ok(op.output))),
             }
         }
         self.inflight.insert(sn, inflight);
@@ -228,7 +235,7 @@ impl MdsServer {
         let epoch = self.epoch;
         let group = self.cfg.group;
         for s in self.standbys.clone() {
-            ctx.send(s, GroupMsg::SyncJournal { epoch, batch: batch.clone() });
+            ctx.send(s, GroupMsg::SyncJournal { epoch, batch: batch.share() });
         }
         self.pool_send(
             ctx,
@@ -284,7 +291,7 @@ impl MdsServer {
     /// Member side of journal synchronization. "The standby only receives
     /// and responds for journals which come from the active server" — and
     /// only at the current epoch, so a deposed active's flushes are inert.
-    fn on_sync_journal(&mut self, ctx: &mut Ctx<'_>, from: NodeId, epoch: u64, batch: JournalBatch) {
+    fn on_sync_journal(&mut self, ctx: &mut Ctx<'_>, from: NodeId, epoch: u64, batch: SharedBatch) {
         if epoch < self.group_epoch {
             return; // obsolete data from a deposed active (see Fig. 4a)
         }
@@ -309,10 +316,7 @@ impl MdsServer {
     pub(crate) fn arm_gap_repair(&mut self, ctx: &mut Ctx<'_>) {
         if !self.gap_repair_armed {
             self.gap_repair_armed = true;
-            ctx.set_timer(
-                self.cfg.timing.register_retry.mul_f64(0.4),
-                crate::server::T_GAP_REPAIR,
-            );
+            ctx.set_timer(self.cfg.timing.register_retry.mul_f64(0.4), crate::server::T_GAP_REPAIR);
         }
     }
 
@@ -429,14 +433,12 @@ impl MdsServer {
     pub(crate) fn retry_pool_appends(&mut self, ctx: &mut Ctx<'_>) {
         let epoch = self.epoch;
         let group = self.cfg.group;
-        let stuck: Vec<mams_journal::Sn> = self
-            .inflight
-            .iter()
-            .filter(|(_, inf)| inf.waiting_pool)
-            .map(|(&sn, _)| sn)
-            .collect();
+        let stuck: Vec<mams_journal::Sn> =
+            self.inflight.iter().filter(|(_, inf)| inf.waiting_pool).map(|(&sn, _)| sn).collect();
         for sn in stuck {
-            if let Some(batch) = self.log.get(sn).cloned() {
+            // `share` ends the log borrow, so the retained handle can move
+            // into the request without copying the batch.
+            if let Some(batch) = self.log.get(sn).map(SharedBatch::share) {
                 self.pool_send(
                     ctx,
                     move |req| PoolReq::AppendJournal { group, epoch, batch, req },
@@ -455,8 +457,8 @@ impl MdsServer {
             .collect();
         for (member, acked) in lagging {
             if let Some(batches) = self.log.read_after(acked) {
-                for b in batches.iter().take(4).cloned().collect::<Vec<_>>() {
-                    ctx.send(member, GroupMsg::SyncJournal { epoch, batch: b });
+                for b in batches.iter().take(4) {
+                    ctx.send(member, GroupMsg::SyncJournal { epoch, batch: b.share() });
                 }
             }
         }

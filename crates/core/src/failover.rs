@@ -238,9 +238,7 @@ impl MdsServer {
     /// Record the instant we observed the active disappear (Figure 7's
     /// failover clock starts here).
     fn note_failure(&mut self, ctx: &mut Ctx<'_>) {
-        if self.failure_seen_at.is_none()
-            && !matches!(self.role, Role::Active | Role::Upgrading)
-        {
+        if self.failure_seen_at.is_none() && !matches!(self.role, Role::Active | Role::Upgrading) {
             self.failure_seen_at = Some(ctx.now());
             ctx.trace("failover.detected", String::new);
         }
@@ -353,8 +351,7 @@ impl MdsServer {
         // degraded junior must give the lock up (unless no standby exists —
         // then a junior takeover is exactly what Algorithm 1 prescribes).
         let my_state = self.view.get(&keys::state(self.cfg.group, me)).cloned();
-        let standbys_exist =
-            self.members_in_state("S").iter().any(|&n| n != me);
+        let standbys_exist = self.members_in_state("S").iter().any(|&n| n != me);
         if my_state.as_deref() == Some("J") && standbys_exist {
             ctx.trace("failover.aborted", || "junior with standbys present".into());
             self.coord.release_lock(ctx, keys::lock(self.cfg.group));
@@ -443,8 +440,16 @@ impl MdsServer {
         self.coord.multi(
             ctx,
             vec![
-                KeyOp::Set { key: keys::active(self.cfg.group), value: me.to_string(), ephemeral: true },
-                KeyOp::Set { key: keys::state(self.cfg.group, me), value: "A".into(), ephemeral: true },
+                KeyOp::Set {
+                    key: keys::active(self.cfg.group),
+                    value: me.to_string(),
+                    ephemeral: true,
+                },
+                KeyOp::Set {
+                    key: keys::state(self.cfg.group, me),
+                    value: "A".into(),
+                    ephemeral: true,
+                },
                 KeyOp::Delete { key: self.bid_key(me) },
             ],
         );

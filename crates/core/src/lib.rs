@@ -33,8 +33,8 @@ mod failover;
 mod renewing;
 
 pub use config::{InitialRole, MdsConfig, MdsTiming};
-pub use proto::{FsOp, GroupMsg, MdsReq, MdsResp, OpOutput};
 pub use ingress::{CpuModel, Ingress, IngressItem};
+pub use proto::{FsOp, GroupMsg, MdsReq, MdsResp, OpOutput};
 pub use retry::RetryCache;
 pub use server::{MdsServer, Role};
 pub use view::keys;

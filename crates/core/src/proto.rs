@@ -1,6 +1,6 @@
 //! Client ↔ MDS and intra-group protocol messages.
 
-use mams_journal::{JournalBatch, Sn};
+use mams_journal::{SharedBatch, Sn};
 use mams_namespace::FileInfo;
 use mams_sim::NodeId;
 use mams_storage::pool::Epoch;
@@ -79,10 +79,15 @@ pub enum MdsReq {
 /// MDS → client responses.
 #[derive(Debug, Clone)]
 pub enum MdsResp {
-    Reply { seq: u64, result: Result<OpOutput, String> },
+    Reply {
+        seq: u64,
+        result: Result<OpOutput, String>,
+    },
     /// The receiver is not the active for this group; the client should
     /// re-resolve the active from the global view and retry.
-    NotActive { seq: u64 },
+    NotActive {
+        seq: u64,
+    },
 }
 
 /// Intra-replica-group messages.
@@ -90,8 +95,9 @@ pub enum MdsResp {
 pub enum GroupMsg {
     /// Active → members: journal synchronization (the "modified two-phase
     /// commit": the SSP append is the durable record, member acks are the
-    /// commit votes the active waits for before answering clients).
-    SyncJournal { epoch: Epoch, batch: JournalBatch },
+    /// commit votes the active waits for before answering clients). Every
+    /// standby's message shares the one batch allocation the active sealed.
+    SyncJournal { epoch: Epoch, batch: SharedBatch },
     /// Member → active: applied through `sn` (duplicate-suppressed).
     SyncAck { sn: Sn },
     /// Member → (new) active after a view change: step 5 registration,
@@ -103,8 +109,9 @@ pub enum GroupMsg {
     RenewStart { tip_sn: Sn },
     /// Junior → active: catch-up progress (pool phase).
     RenewProgress { sn: Sn },
-    /// Active → junior: the final-synchronization journal range.
-    RenewJournal { epoch: Epoch, batches: Vec<JournalBatch> },
+    /// Active → junior: the final-synchronization journal range (shared
+    /// handles into the active's log — no copy per junior).
+    RenewJournal { epoch: Epoch, batches: Vec<SharedBatch> },
     /// Coordinator active → other groups' actives: apply a structural
     /// transaction (distributed transaction leg). `xid` is unique per
     /// (origin group, txid) for duplicate suppression.

@@ -13,7 +13,7 @@
 //! `sn`, the active promotes it and the junior announces itself a standby.
 
 use bytes::Bytes;
-use mams_journal::{JournalBatch, JournalLog, ReplayCursor, Sn};
+use mams_journal::{JournalLog, ReplayCursor, SharedBatch, Sn};
 use mams_sim::{Ctx, NodeId};
 use mams_storage::proto::{PoolReq, PoolResp};
 
@@ -42,15 +42,12 @@ impl MdsServer {
         // Registered members currently in junior state, by least gap
         // (highest sn) first.
         let juniors = self.members_in_state("J");
-        let candidate = juniors
-            .iter()
-            .filter_map(|&n| self.member_sns.get(&n).map(|&sn| (sn, n)))
-            .max();
+        let candidate =
+            juniors.iter().filter_map(|&n| self.member_sns.get(&n).map(|&sn| (sn, n))).max();
         if let Some((sn, junior)) = candidate {
             let tip = self.log.tail_sn();
             ctx.trace("renew.session_start", || format!("junior n{junior} sn {sn} tip {tip}"));
-            self.renew_driver =
-                Some(RenewDriver { junior, last_progress_sn: sn, stale_scans: 0 });
+            self.renew_driver = Some(RenewDriver { junior, last_progress_sn: sn, stale_scans: 0 });
             ctx.send(junior, GroupMsg::RenewStart { tip_sn: tip });
         }
     }
@@ -74,7 +71,10 @@ impl MdsServer {
             self.standbys.insert(from);
             match self.log.read_after(sn) {
                 Some(batches) if !batches.is_empty() => {
-                    let batches: Vec<JournalBatch> = batches.to_vec();
+                    // Shared handles into our log — shipping the range is
+                    // reference-count bumps, not a copy of the records.
+                    let batches: Vec<SharedBatch> =
+                        batches.iter().map(SharedBatch::share).collect();
                     ctx.trace("renew.final_sync", || {
                         format!("n{from}: {} batches to tail {tail}", batches.len())
                     });
@@ -102,8 +102,7 @@ impl MdsServer {
         if self.role != Role::Active {
             return;
         }
-        let is_session_junior =
-            self.renew_driver.as_ref().is_some_and(|d| d.junior == from);
+        let is_session_junior = self.renew_driver.as_ref().is_some_and(|d| d.junior == from);
         if is_session_junior && sn == self.log.tail_sn() {
             self.promote_junior(ctx, from);
         }
@@ -152,10 +151,7 @@ impl MdsServer {
 
     /// Begin (or resume) fetching the namespace image from the pool.
     pub(crate) fn start_image_fetch(&mut self, ctx: &mut Ctx<'_>, for_upgrade: bool) {
-        let keep = matches!(
-            &self.catchup,
-            Some(Catchup { stage: CatchupStage::Image { .. }, .. })
-        );
+        let keep = matches!(&self.catchup, Some(Catchup { stage: CatchupStage::Image { .. }, .. }));
         if !keep {
             self.catchup = Some(Catchup { stage: CatchupStage::Meta });
         }
@@ -341,7 +337,7 @@ impl MdsServer {
         ctx: &mut Ctx<'_>,
         from: NodeId,
         epoch: u64,
-        batches: Vec<JournalBatch>,
+        batches: Vec<SharedBatch>,
     ) {
         if epoch < self.group_epoch || matches!(self.role, Role::Active | Role::Upgrading) {
             return;

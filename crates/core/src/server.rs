@@ -8,7 +8,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use mams_coord::{CoordClient, Incoming};
-use mams_journal::{JournalBatch, JournalLog, ReplayCursor, Sn, Txn, TxnId};
+use mams_journal::{JournalBatch, JournalLog, ReplayCursor, SharedBatch, Sn, Txn, TxnId};
 use mams_namespace::{BlockMap, NamespaceTree};
 use mams_sim::{Ctx, Duration, Message, Node, NodeId, SimTime};
 use mams_storage::pool::Epoch;
@@ -80,9 +80,15 @@ pub(crate) enum PoolCtx {
 /// Client reply destination for a pending mutation.
 #[derive(Debug, Clone)]
 pub(crate) enum ReplyTo {
-    Client { node: NodeId, seq: u64 },
+    Client {
+        node: NodeId,
+        seq: u64,
+    },
     /// A distributed-transaction leg: ack the coordinating active.
-    XGroup { coordinator: NodeId, xid: (u32, u64) },
+    XGroup {
+        coordinator: NodeId,
+        xid: (u32, u64),
+    },
 }
 
 /// A validated-and-not-yet-flushed mutation.
@@ -198,8 +204,9 @@ pub struct MdsServer {
     pub(crate) blocks: BlockMap,
     pub(crate) log: JournalLog,
     pub(crate) cursor: ReplayCursor,
-    /// Out-of-order sync buffer (drained contiguously into the cursor).
-    pub(crate) stash: BTreeMap<Sn, JournalBatch>,
+    /// Out-of-order sync buffer (drained contiguously into the cursor);
+    /// holds shared handles, so stashing never copies records.
+    pub(crate) stash: BTreeMap<Sn, SharedBatch>,
     pub(crate) next_txid: TxnId,
     /// Next block id to allocate (replay advances it past any seen id).
     pub(crate) next_block_id: u64,
@@ -363,7 +370,7 @@ impl MdsServer {
     ///
     /// A non-empty stash after draining means a batch went missing on the
     /// wire; the caller should arm gap repair (`arm_gap_repair`).
-    pub(crate) fn ingest_batch(&mut self, batch: JournalBatch) -> Option<Sn> {
+    pub(crate) fn ingest_batch(&mut self, batch: SharedBatch) -> Option<Sn> {
         if batch.sn <= self.cursor.max_sn() {
             return None; // duplicate: suppressed by sn comparison
         }
@@ -371,9 +378,9 @@ impl MdsServer {
         let mut last = None;
         while let Some(next) = self.stash.remove(&(self.cursor.max_sn() + 1)) {
             self.apply_records(&next);
-            // Keep a local copy of the log (standbys serve renewing reads
-            // and may become the active).
-            let _ = self.log.append(next.clone());
+            // Keep a local handle in the log (standbys serve renewing reads
+            // and may become the active) — same allocation, no copy.
+            let _ = self.log.append(next.share());
             self.cursor = ReplayCursor::at(next.sn);
             last = Some(next.sn);
         }
@@ -455,11 +462,8 @@ impl Node for MdsServer {
                     let mut cpu = self.cfg.timing.cpu;
                     // Journal fan-out: every mutation is serialized and
                     // sent to each hot standby.
-                    cpu.mutation += self
-                            .cfg
-                            .timing
-                            .sync_cpu_per_standby
-                            .mul_f64(self.standbys.len() as f64);
+                    cpu.mutation +=
+                        self.cfg.timing.sync_cpu_per_standby.mul_f64(self.standbys.len() as f64);
                     for item in self.ingress.drain(budget, cpu) {
                         match item {
                             crate::ingress::IngressItem::Client { from, op, seq } => {
@@ -513,14 +517,13 @@ impl Node for MdsServer {
                     ctx.set_timer(interval, T_CHECKPOINT);
                 }
             }
-            T_UPGRADE_RETRY
-                if self.role == Role::Upgrading => {
-                    // A pool reply went missing mid-switch; the sequence is
-                    // idempotent, so run it again from the fencing step.
-                    ctx.trace("failover.upgrade_retry", String::new);
-                    let epoch = self.epoch;
-                    self.begin_upgrade(ctx, epoch);
-                }
+            T_UPGRADE_RETRY if self.role == Role::Upgrading => {
+                // A pool reply went missing mid-switch; the sequence is
+                // idempotent, so run it again from the fencing step.
+                ctx.trace("failover.upgrade_retry", String::new);
+                let epoch = self.epoch;
+                self.begin_upgrade(ctx, epoch);
+            }
             _ => {}
         }
     }

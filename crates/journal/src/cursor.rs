@@ -70,10 +70,16 @@ impl ReplayCursor {
     }
 
     /// Offer a contiguous run of batches; returns how many were applied.
-    pub fn offer_all(&mut self, batches: &[JournalBatch], sink: &mut impl Apply) -> usize {
+    /// Accepts owned batches or shared handles (`&[JournalBatch]`,
+    /// `&[SharedBatch]`) alike.
+    pub fn offer_all<B: std::borrow::Borrow<JournalBatch>>(
+        &mut self,
+        batches: &[B],
+        sink: &mut impl Apply,
+    ) -> usize {
         let mut applied = 0;
         for b in batches {
-            if self.offer(b, sink) == ReplayOutcome::Applied {
+            if self.offer(b.borrow(), sink) == ReplayOutcome::Applied {
                 applied += 1;
             }
         }

@@ -15,14 +15,18 @@
 //! * [`encode`] — a compact binary wire/disk format with checksums,
 //! * [`JournalLog`] — an in-memory segment enforcing sn contiguity and
 //!   idempotent appends,
+//! * [`SharedBatch`] — a reference-counted batch handle with an encode-once
+//!   wire form, so fan-out to standbys and the SSP never deep-copies,
 //! * [`ReplayCursor`] — duplicate-suppressing batch application.
 
 pub mod cursor;
 pub mod encode;
 pub mod log;
+pub mod shared;
 pub mod txn;
 
 pub use cursor::{Apply, ReplayCursor, ReplayOutcome};
 pub use encode::{decode_batch, encode_batch, EncodeError};
 pub use log::{AppendOutcome, JournalError, JournalLog};
+pub use shared::SharedBatch;
 pub use txn::{JournalBatch, Sn, Txn, TxnId};

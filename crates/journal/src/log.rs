@@ -7,7 +7,8 @@
 //! active re-flushes the last cached journals and the deposed active (now a
 //! standby) sees them again.
 
-use crate::txn::{JournalBatch, Sn};
+use crate::shared::SharedBatch;
+use crate::txn::Sn;
 
 /// Result of offering a batch to the log.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,7 +52,7 @@ impl std::error::Error for JournalError {}
 #[derive(Debug, Clone, Default)]
 pub struct JournalLog {
     base_sn: Sn,
-    batches: Vec<JournalBatch>,
+    batches: Vec<SharedBatch>,
 }
 
 impl JournalLog {
@@ -88,7 +89,13 @@ impl JournalLog {
     /// Offer a batch. Contiguous appends extend the log; stale sn values are
     /// ignored (after verifying they match what we already hold); gaps are
     /// errors.
-    pub fn append(&mut self, batch: JournalBatch) -> Result<AppendOutcome, JournalError> {
+    ///
+    /// Accepts anything convertible into a [`SharedBatch`], so call sites
+    /// may pass a plain [`crate::JournalBatch`] or an already-shared handle;
+    /// the log retains the handle (no deep copy in either case beyond the
+    /// one-time wrap).
+    pub fn append(&mut self, batch: impl Into<SharedBatch>) -> Result<AppendOutcome, JournalError> {
+        let batch = batch.into();
         let tail = self.tail_sn();
         if batch.sn == tail + 1 {
             self.batches.push(batch);
@@ -108,8 +115,10 @@ impl JournalLog {
 
     /// Batches with sn strictly greater than `after_sn`, in order. Returns
     /// `None` when `after_sn` is older than the compaction base (the caller
-    /// must fall back to an image).
-    pub fn read_after(&self, after_sn: Sn) -> Option<&[JournalBatch]> {
+    /// must fall back to an image). The returned handles are shared — a
+    /// caller fanning them out bumps reference counts, it does not copy
+    /// records.
+    pub fn read_after(&self, after_sn: Sn) -> Option<&[SharedBatch]> {
         if after_sn < self.base_sn {
             return None;
         }
@@ -121,7 +130,7 @@ impl JournalLog {
     }
 
     /// The batch with exactly this sn, if retained.
-    pub fn get(&self, sn: Sn) -> Option<&JournalBatch> {
+    pub fn get(&self, sn: Sn) -> Option<&SharedBatch> {
         if sn <= self.base_sn || sn > self.tail_sn() {
             return None;
         }
@@ -140,7 +149,7 @@ impl JournalLog {
     }
 
     /// Iterate retained batches in sn order.
-    pub fn iter(&self) -> impl Iterator<Item = &JournalBatch> {
+    pub fn iter(&self) -> impl Iterator<Item = &SharedBatch> {
         self.batches.iter()
     }
 
@@ -153,7 +162,7 @@ impl JournalLog {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::txn::Txn;
+    use crate::txn::{JournalBatch, Txn};
 
     fn batch(sn: Sn) -> JournalBatch {
         JournalBatch::new(

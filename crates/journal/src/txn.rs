@@ -132,13 +132,15 @@ mod tests {
 
     #[test]
     fn tags_are_distinct() {
-        let txns = [Txn::Create { path: "p".into(), replication: 1 },
+        let txns = [
+            Txn::Create { path: "p".into(), replication: 1 },
             Txn::Mkdir { path: "p".into() },
             Txn::Delete { path: "p".into(), recursive: false },
             Txn::Rename { src: "a".into(), dst: "b".into() },
             Txn::AddBlock { path: "p".into(), block_id: 1, len: 2 },
             Txn::CloseFile { path: "p".into() },
-            Txn::SetPerm { path: "p".into(), perm: 0o755 }];
+            Txn::SetPerm { path: "p".into(), perm: 0o755 },
+        ];
         let mut tags: Vec<u8> = txns.iter().map(Txn::tag).collect();
         tags.sort_unstable();
         tags.dedup();

@@ -130,9 +130,7 @@ impl FsIo {
                 };
                 let result = match result {
                     Ok(out) => Ok(out),
-                    Err(e) if p.attempts > 1 && Self::reconcile(&p.op, &e) => {
-                        Ok(OpOutput::Done)
-                    }
+                    Err(e) if p.attempts > 1 && Self::reconcile(&p.op, &e) => Ok(OpOutput::Done),
                     Err(e) => Err(e),
                 };
                 return IoEvent::Completed { seq, result };

@@ -62,11 +62,7 @@ impl JobStats {
     /// CDF points `(time_us, fraction_complete)` for a completion list.
     pub fn cdf(times: &[u64]) -> Vec<(u64, f64)> {
         let n = times.len();
-        times
-            .iter()
-            .enumerate()
-            .map(|(i, &t)| (t, (i + 1) as f64 / n as f64))
-            .collect()
+        times.iter().enumerate().map(|(i, &t)| (t, (i + 1) as f64 / n as f64)).collect()
     }
 
     /// Time (µs) at which `frac` of the tasks had completed.

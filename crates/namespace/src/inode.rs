@@ -1,6 +1,7 @@
 //! Inodes: the nodes of the namespace tree.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -18,8 +19,10 @@ pub const DEFAULT_PERM: u16 = 0o755;
 pub enum Inode {
     Directory {
         /// Child name → inode id, kept sorted for deterministic iteration
-        /// and image encoding.
-        children: BTreeMap<String, InodeId>,
+        /// and image encoding. Names are interned `Arc<str>` handles (see
+        /// `NamespaceTree`): the many repeated component names of a big
+        /// namespace share one allocation apiece.
+        children: BTreeMap<Arc<str>, InodeId>,
         perm: u16,
     },
     File {

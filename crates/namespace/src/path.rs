@@ -58,9 +58,33 @@ pub fn basename(p: &str) -> Option<&str> {
     p.rfind('/').map(|i| &p[i + 1..])
 }
 
+/// Split a validated non-root path into `(parent_dir, basename)` in one
+/// scan (`"/a/b/c"` → `("/a/b", "c")`, `"/a"` → `("/", "a")`). `None` for
+/// the root. One `rfind` instead of separate [`parent`] + [`basename`]
+/// calls on the hot resolution path.
+pub fn split(p: &str) -> Option<(&str, &str)> {
+    if p == "/" {
+        return None;
+    }
+    match p.rfind('/') {
+        Some(0) => Some(("/", &p[1..])),
+        Some(i) => Some((&p[..i], &p[i + 1..])),
+        None => None,
+    }
+}
+
 /// Components of a validated path (empty for the root).
 pub fn components(p: &str) -> impl Iterator<Item = &str> {
     p.strip_prefix('/').unwrap_or(p).split('/').filter(|c| !c.is_empty())
+}
+
+/// Every ancestor prefix of a validated non-root path, shallowest first,
+/// ending with the path itself: `"/a/b/c"` → `"/a"`, `"/a/b"`, `"/a/b/c"`.
+/// Borrowed slices of the input — no per-level `String` building (this is
+/// what `mkdir_p` walks).
+pub fn prefixes(p: &str) -> impl Iterator<Item = &str> {
+    let bytes = p.as_bytes();
+    (2..=p.len()).filter(move |&i| i == p.len() || bytes[i] == b'/').map(move |i| &p[..i])
 }
 
 /// Join a validated directory path with a single component.
@@ -123,6 +147,20 @@ mod tests {
             let b = basename(p).unwrap();
             assert_eq!(join(d, b), p);
         }
+    }
+
+    #[test]
+    fn split_matches_parent_and_basename() {
+        assert_eq!(split("/"), None);
+        for p in ["/a", "/a/b", "/x/y/z", "/with-dash_и/f"] {
+            assert_eq!(split(p), Some((parent(p).unwrap(), basename(p).unwrap())));
+        }
+    }
+
+    #[test]
+    fn prefixes_walk_shallowest_first() {
+        assert_eq!(prefixes("/a").collect::<Vec<_>>(), vec!["/a"]);
+        assert_eq!(prefixes("/a/b/c").collect::<Vec<_>>(), vec!["/a", "/a/b", "/a/b/c"]);
     }
 
     #[test]

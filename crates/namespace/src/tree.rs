@@ -1,6 +1,23 @@
 //! The namespace tree and its metadata operations.
+//!
+//! Two structures make the op hot path allocation-light:
+//!
+//! * an **interned component table**: directory-child names are `Arc<str>`
+//!   handles deduplicated tree-wide, so the repeated components of a large
+//!   namespace (`part-00000`, `data`, …) share one allocation apiece;
+//! * a **parent-directory resolution cache**: directory path → inode id,
+//!   so `create`/`getfileinfo`/`delete` against a warm directory cost one
+//!   map probe plus one child lookup instead of a walk from the root.
+//!
+//! Cache invariant: an entry maps a path to the id of a directory that is
+//! *currently* at that path. Inode ids are never reused, directories never
+//! become files, and the only operations that relocate or remove a
+//! directory are `delete` and `rename` — which invalidate the entry and
+//! (for directories) its whole subtree. Everything else leaves entries
+//! valid, so a cache hit can never disagree with a from-root walk.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use mams_journal::{Apply, Txn, TxnId};
 
@@ -62,7 +79,19 @@ pub struct NamespaceTree {
     /// Journal replays that failed to apply — any nonzero value indicates a
     /// protocol bug (journaled operations must always replay cleanly).
     divergences: u64,
+    /// Interned child-name table (see module docs). Bounded: cleared when
+    /// full; live names stay alive through the directories that hold them
+    /// and re-intern on next use.
+    names: HashSet<Arc<str>>,
+    /// Directory path → inode id fast-path cache (see module docs for the
+    /// invalidation invariant). Bounded: cleared when full.
+    parent_cache: HashMap<Box<str>, InodeId>,
 }
+
+/// Intern-table bound; ~64k distinct component names before a reset.
+const NAME_TABLE_CAP: usize = 1 << 16;
+/// Resolution-cache bound (directories, not files).
+const PARENT_CACHE_CAP: usize = 1 << 14;
 
 impl Default for NamespaceTree {
     fn default() -> Self {
@@ -75,7 +104,15 @@ impl NamespaceTree {
     pub fn new() -> Self {
         let mut inodes = HashMap::new();
         inodes.insert(ROOT_ID, Inode::new_dir());
-        NamespaceTree { inodes, next_id: 1, num_files: 0, num_dirs: 0, divergences: 0 }
+        NamespaceTree {
+            inodes,
+            next_id: 1,
+            num_files: 0,
+            num_dirs: 0,
+            divergences: 0,
+            names: HashSet::new(),
+            parent_cache: HashMap::new(),
+        }
     }
 
     /// Number of files.
@@ -100,8 +137,67 @@ impl NamespaceTree {
         id
     }
 
+    /// One shared handle per distinct component name, tree-wide.
+    fn intern(&mut self, name: &str) -> Arc<str> {
+        if let Some(n) = self.names.get(name) {
+            return n.clone();
+        }
+        if self.names.len() >= NAME_TABLE_CAP {
+            self.names.clear();
+        }
+        let n: Arc<str> = Arc::from(name);
+        self.names.insert(n.clone());
+        n
+    }
+
+    /// Record that the directory at `p` has inode `id` (mutation paths call
+    /// this after a successful resolve, warming the cache for the reads).
+    fn cache_dir(&mut self, p: &str, id: InodeId) {
+        debug_assert!(self.inodes.get(&id).is_some_and(Inode::is_dir));
+        if self.parent_cache.contains_key(p) {
+            return;
+        }
+        if self.parent_cache.len() >= PARENT_CACHE_CAP {
+            self.parent_cache.clear();
+        }
+        self.parent_cache.insert(Box::from(p), id);
+    }
+
+    /// Drop the cache entry for `p` — and, when `p` was a directory, every
+    /// entry beneath it (the subtree moved or disappeared).
+    fn invalidate_cached(&mut self, p: &str, was_dir: bool) {
+        if was_dir {
+            self.parent_cache.retain(|k, _| !(k.as_ref() == p || path::is_strict_descendant(k, p)));
+        } else {
+            self.parent_cache.remove(p);
+        }
+    }
+
     /// Resolve a validated path to an inode id.
+    ///
+    /// Fast path: `p` itself, or its parent directory, is in the resolution
+    /// cache — one probe (plus one child lookup) instead of a component
+    /// walk. Falls back to the from-root walk on a cold cache.
     fn resolve(&self, p: &str) -> Option<InodeId> {
+        if p == "/" {
+            return Some(ROOT_ID);
+        }
+        if let Some(&id) = self.parent_cache.get(p) {
+            return Some(id);
+        }
+        if let Some((dir, name)) = path::split(p) {
+            if let Some(&pid) = self.parent_cache.get(dir) {
+                return match self.inodes.get(&pid) {
+                    Some(Inode::Directory { children, .. }) => children.get(name).copied(),
+                    _ => None,
+                };
+            }
+        }
+        self.resolve_walk(p)
+    }
+
+    /// The from-root component walk.
+    fn resolve_walk(&self, p: &str) -> Option<InodeId> {
         let mut cur = ROOT_ID;
         for comp in path::components(p) {
             match self.inodes.get(&cur)? {
@@ -110,6 +206,19 @@ impl NamespaceTree {
             }
         }
         Some(cur)
+    }
+
+    /// Resolve a path to its inode id (fast path; test/bench hook).
+    pub fn resolve_path(&self, p: &str) -> Option<InodeId> {
+        path::validate(p).ok()?;
+        self.resolve(p)
+    }
+
+    /// Resolve by walking from the root, ignoring the cache (test/bench
+    /// hook: the oracle the fast path must agree with).
+    pub fn resolve_path_uncached(&self, p: &str) -> Option<InodeId> {
+        path::validate(p).ok()?;
+        self.resolve_walk(p)
     }
 
     /// Whether a path exists.
@@ -152,19 +261,21 @@ impl NamespaceTree {
     pub fn create(&mut self, p: &str, replication: u8) -> Result<FileInfo, NsError> {
         path::validate(p)?;
         let parent_id = self.resolve_parent(p)?;
-        let name = path::basename(p).expect("non-root validated path");
+        let (dir, name) = path::split(p).expect("non-root validated path");
         if let Inode::Directory { children, .. } = &self.inodes[&parent_id] {
             if children.contains_key(name) {
                 return Err(NsError::AlreadyExists(p.to_string()));
             }
         }
+        let name = self.intern(name);
         let id = self.alloc(Inode::new_file(replication));
         match self.inodes.get_mut(&parent_id).expect("parent exists") {
             Inode::Directory { children, .. } => {
-                children.insert(name.to_string(), id);
+                children.insert(name, id);
             }
             Inode::File { .. } => unreachable!("resolve_parent checked kind"),
         }
+        self.cache_dir(dir, parent_id);
         self.num_files += 1;
         self.info_of(p, id)
     }
@@ -173,19 +284,22 @@ impl NamespaceTree {
     pub fn mkdir(&mut self, p: &str) -> Result<(), NsError> {
         path::validate(p)?;
         let parent_id = self.resolve_parent(p)?;
-        let name = path::basename(p).expect("non-root validated path");
+        let (dir, name) = path::split(p).expect("non-root validated path");
         if let Inode::Directory { children, .. } = &self.inodes[&parent_id] {
             if children.contains_key(name) {
                 return Err(NsError::AlreadyExists(p.to_string()));
             }
         }
+        let name = self.intern(name);
         let id = self.alloc(Inode::new_dir());
         match self.inodes.get_mut(&parent_id).expect("parent exists") {
             Inode::Directory { children, .. } => {
-                children.insert(name.to_string(), id);
+                children.insert(name, id);
             }
             Inode::File { .. } => unreachable!("resolve_parent checked kind"),
         }
+        self.cache_dir(dir, parent_id);
+        self.cache_dir(p, id);
         self.num_dirs += 1;
         Ok(())
     }
@@ -196,15 +310,14 @@ impl NamespaceTree {
         if p == "/" {
             return Ok(());
         }
-        let mut cur = String::new();
-        for comp in path::components(p) {
-            cur = path::join(if cur.is_empty() { "/" } else { &cur }, comp);
-            match self.mkdir(&cur) {
+        // Ancestors are borrowed prefix slices of `p` — no per-level String.
+        for prefix in path::prefixes(p) {
+            match self.mkdir(prefix) {
                 Ok(()) => {}
                 Err(NsError::AlreadyExists(_)) => {
-                    if let Some(id) = self.resolve(&cur) {
+                    if let Some(id) = self.resolve(prefix) {
                         if self.inodes[&id].is_file() {
-                            return Err(NsError::IsFile(cur));
+                            return Err(NsError::IsFile(prefix.to_string()));
                         }
                     }
                 }
@@ -228,7 +341,8 @@ impl NamespaceTree {
             }
         }
         let parent_id = self.resolve_parent(p)?;
-        let name = path::basename(p).expect("non-root validated path");
+        let (dir, name) = path::split(p).expect("non-root validated path");
+        let was_dir = self.inodes[&id].is_dir();
         match self.inodes.get_mut(&parent_id).expect("parent exists") {
             Inode::Directory { children, .. } => {
                 children.remove(name);
@@ -238,6 +352,8 @@ impl NamespaceTree {
         let (files, dirs) = self.drop_subtree(id);
         self.num_files -= files;
         self.num_dirs -= dirs;
+        self.invalidate_cached(p, was_dir);
+        self.cache_dir(dir, parent_id);
         Ok((files, dirs))
     }
 
@@ -276,19 +392,29 @@ impl NamespaceTree {
         }
         let dst_parent = self.resolve_parent(dst)?;
         let src_parent = self.resolve_parent(src)?;
-        let src_name = path::basename(src).expect("non-root");
-        let dst_name = path::basename(dst).expect("non-root");
+        let (src_dir, src_name) = path::split(src).expect("non-root");
+        let (dst_dir, dst_name) = path::split(dst).expect("non-root");
+        let src_is_dir = self.inodes[&src_id].is_dir();
         match self.inodes.get_mut(&src_parent).expect("src parent") {
             Inode::Directory { children, .. } => {
                 children.remove(src_name);
             }
             Inode::File { .. } => unreachable!(),
         }
+        let dst_name = self.intern(dst_name);
         match self.inodes.get_mut(&dst_parent).expect("dst parent") {
             Inode::Directory { children, .. } => {
-                children.insert(dst_name.to_string(), src_id);
+                children.insert(dst_name, src_id);
             }
             Inode::File { .. } => unreachable!(),
+        }
+        // The subtree rooted at `src` moved: every cached path at or under
+        // `src` now points somewhere else (or nowhere).
+        self.invalidate_cached(src, src_is_dir);
+        self.cache_dir(src_dir, src_parent);
+        self.cache_dir(dst_dir, dst_parent);
+        if src_is_dir {
+            self.cache_dir(dst, src_id);
         }
         Ok(())
     }
@@ -328,7 +454,9 @@ impl NamespaceTree {
         path::validate(p)?;
         let id = self.resolve(p).ok_or_else(|| NsError::NotFound(p.to_string()))?;
         match &self.inodes[&id] {
-            Inode::Directory { children, .. } => Ok(children.keys().cloned().collect()),
+            Inode::Directory { children, .. } => {
+                Ok(children.keys().map(|k| k.to_string()).collect())
+            }
             Inode::File { .. } => Err(NsError::IsFile(p.to_string())),
         }
     }
@@ -464,10 +592,7 @@ mod tests {
         let mut t = NamespaceTree::new();
         assert_eq!(t.create("/no/f", 1).unwrap_err(), NsError::ParentNotFound("/no/f".into()));
         t.create("/f", 1).unwrap();
-        assert_eq!(
-            t.create("/f/x", 1).unwrap_err(),
-            NsError::ParentNotDirectory("/f/x".into())
-        );
+        assert_eq!(t.create("/f/x", 1).unwrap_err(), NsError::ParentNotDirectory("/f/x".into()));
         assert_eq!(t.create("/f", 1).unwrap_err(), NsError::AlreadyExists("/f".into()));
     }
 
@@ -525,7 +650,10 @@ mod tests {
         );
         assert_eq!(t.rename("/a", "/x").unwrap_err(), NsError::AlreadyExists("/x".into()));
         assert_eq!(t.rename("/missing", "/y").unwrap_err(), NsError::NotFound("/missing".into()));
-        assert_eq!(t.rename("/a", "/no/where").unwrap_err(), NsError::ParentNotFound("/no/where".into()));
+        assert_eq!(
+            t.rename("/a", "/no/where").unwrap_err(),
+            NsError::ParentNotFound("/no/where".into())
+        );
         assert_eq!(t.rename("/", "/r").unwrap_err(), NsError::RootImmutable);
     }
 

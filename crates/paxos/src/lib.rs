@@ -24,7 +24,7 @@ pub mod messages;
 pub mod proposer;
 pub mod rsm;
 
-pub use acceptor::{Acceptor, PrepareReply, AcceptReply};
+pub use acceptor::{AcceptReply, Acceptor, PrepareReply};
 pub use ballot::Ballot;
 pub use messages::Value;
 pub use proposer::{Proposer, ProposerEvent};

@@ -37,22 +37,61 @@ pub trait RsmApp: Send {
 #[derive(Debug, Clone)]
 pub enum RsmMsg {
     /// Phase 1 for all slots ≥ `from_slot`.
-    Prepare { ballot: Ballot, from_slot: u64 },
+    Prepare {
+        ballot: Ballot,
+        from_slot: u64,
+    },
     /// Promise carrying the acceptor's accepted entries ≥ `from_slot`.
-    Promise { ballot: Ballot, entries: Vec<SlotEntry>, commit_index: u64 },
-    PrepareNack { ballot: Ballot, promised: Ballot },
-    Accept { ballot: Ballot, slot: u64, value: Value },
-    Accepted { ballot: Ballot, slot: u64 },
-    AcceptNack { ballot: Ballot, promised: Ballot },
+    Promise {
+        ballot: Ballot,
+        entries: Vec<SlotEntry>,
+        commit_index: u64,
+    },
+    PrepareNack {
+        ballot: Ballot,
+        promised: Ballot,
+    },
+    Accept {
+        ballot: Ballot,
+        slot: u64,
+        value: Value,
+    },
+    Accepted {
+        ballot: Ballot,
+        slot: u64,
+    },
+    AcceptNack {
+        ballot: Ballot,
+        promised: Ballot,
+    },
     /// Leader liveness + commit propagation.
-    Heartbeat { ballot: Ballot, commit_index: u64 },
+    Heartbeat {
+        ballot: Ballot,
+        commit_index: u64,
+    },
     /// Client write request.
-    Propose { cmd: Value, req: u64 },
+    Propose {
+        cmd: Value,
+        req: u64,
+    },
     /// Client write reply (`slot` set on success; `leader_hint` on redirect).
-    ProposeReply { req: u64, committed: bool, slot: Option<u64>, leader_hint: Option<NodeId> },
+    ProposeReply {
+        req: u64,
+        committed: bool,
+        slot: Option<u64>,
+        leader_hint: Option<NodeId>,
+    },
     /// Client read request.
-    Query { q: Value, req: u64 },
-    QueryReply { req: u64, ok: bool, result: Option<Value>, leader_hint: Option<NodeId> },
+    Query {
+        q: Value,
+        req: u64,
+    },
+    QueryReply {
+        req: u64,
+        ok: bool,
+        result: Option<Value>,
+        leader_hint: Option<NodeId>,
+    },
 }
 
 /// Configuration for one RSM member.
@@ -223,7 +262,13 @@ impl<A: RsmApp> RsmNode<A> {
         self.broadcast(ctx, &msg);
     }
 
-    fn propose_in_slot(&mut self, ctx: &mut Ctx<'_>, slot: u64, value: Value, client: Option<(NodeId, u64)>) {
+    fn propose_in_slot(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        slot: u64,
+        value: Value,
+        client: Option<(NodeId, u64)>,
+    ) {
         // Accept locally first.
         let entry = self.slots.entry(slot).or_default();
         entry.acceptor.on_accept(self.ballot, value.clone());
@@ -242,8 +287,7 @@ impl<A: RsmApp> RsmNode<A> {
         // Advance commit_index over contiguous quorum-accepted slots.
         loop {
             let slot = self.commit_index;
-            let have_quorum =
-                self.accepts.get(&slot).is_some_and(|s| s.len() >= self.quorum());
+            let have_quorum = self.accepts.get(&slot).is_some_and(|s| s.len() >= self.quorum());
             if !have_quorum {
                 break;
             }
@@ -317,24 +361,21 @@ impl<A: RsmApp + 'static> Node for RsmNode<A> {
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         match token {
-            T_HEARTBEAT
-                if self.role == Role::Leader => {
-                    self.send_heartbeat(ctx);
-                    ctx.set_timer(self.cfg.heartbeat, T_HEARTBEAT);
-                }
-            T_ELECTION => {
-                match self.role {
-                    Role::Leader => {}
-                    _ => {
-                        if self.heard_from_leader {
-                            self.heard_from_leader = false;
-                            self.arm_election_timer(ctx);
-                        } else {
-                            self.start_election(ctx);
-                        }
+            T_HEARTBEAT if self.role == Role::Leader => {
+                self.send_heartbeat(ctx);
+                ctx.set_timer(self.cfg.heartbeat, T_HEARTBEAT);
+            }
+            T_ELECTION => match self.role {
+                Role::Leader => {}
+                _ => {
+                    if self.heard_from_leader {
+                        self.heard_from_leader = false;
+                        self.arm_election_timer(ctx);
+                    } else {
+                        self.start_election(ctx);
                     }
                 }
-            }
+            },
             _ => {}
         }
     }
@@ -370,8 +411,7 @@ impl<A: RsmApp + 'static> Node for RsmNode<A> {
                 }
             }
             RsmMsg::PrepareNack { ballot, promised } => {
-                if self.role == Role::Candidate && ballot == self.ballot && promised > self.ballot
-                {
+                if self.role == Role::Candidate && ballot == self.ballot && promised > self.ballot {
                     self.step_down(promised, None);
                     self.arm_election_timer(ctx);
                 }
@@ -530,17 +570,15 @@ mod tests {
 
     type SharedLog = Arc<Mutex<Vec<Value>>>;
 
-    fn build_cluster(
-        sim: &mut Sim,
-        n: usize,
-    ) -> (Vec<NodeId>, Vec<SharedLog>) {
+    fn build_cluster(sim: &mut Sim, n: usize) -> (Vec<NodeId>, Vec<SharedLog>) {
         let ids: Vec<NodeId> = (0..n as u32).collect();
         let mut logs = Vec::new();
         for i in 0..n {
             let applied = Arc::new(Mutex::new(Vec::new()));
             logs.push(applied.clone());
             let cfg = RsmConfig::new(ids.clone(), i as u32);
-            let id = sim.add_node(format!("rsm-{i}"), Box::new(RsmNode::new(cfg, VecApp { applied })));
+            let id =
+                sim.add_node(format!("rsm-{i}"), Box::new(RsmNode::new(cfg, VecApp { applied })));
             assert_eq!(id, ids[i]);
         }
         (ids, logs)
@@ -551,8 +589,7 @@ mod tests {
         let mut sim = Sim::new(SimConfig::default());
         let (ids, logs) = build_cluster(&mut sim, 3);
         let committed = Arc::new(Mutex::new(Vec::new()));
-        let cmds: Vec<Value> =
-            (0..5).map(|i| Bytes::from(format!("cmd-{i}"))).collect();
+        let cmds: Vec<Value> = (0..5).map(|i| Bytes::from(format!("cmd-{i}"))).collect();
         sim.add_node(
             "client",
             Box::new(TestClient {
@@ -594,9 +631,7 @@ mod tests {
         sim.at(SimTime(10_000_000), {
             let logs = logs.clone();
             move |sim| {
-                let leader = (0..logs.len())
-                    .max_by_key(|&i| logs[i].lock().len())
-                    .unwrap();
+                let leader = (0..logs.len()).max_by_key(|&i| logs[i].lock().len()).unwrap();
                 sim.crash(leader as NodeId);
             }
         });
@@ -605,11 +640,8 @@ mod tests {
         assert_eq!(done, 8, "commits resume after failover (got {done})");
         // The two survivors agree on a common prefix containing all
         // committed commands.
-        let alive: Vec<Vec<Value>> = logs
-            .iter()
-            .map(|l| l.lock().clone())
-            .filter(|l| l.len() == 8)
-            .collect();
+        let alive: Vec<Vec<Value>> =
+            logs.iter().map(|l| l.lock().clone()).filter(|l| l.len() == 8).collect();
         assert!(!alive.is_empty());
         for l in &alive {
             assert_eq!(*l, cmds);

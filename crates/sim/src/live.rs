@@ -53,13 +53,10 @@ impl RealTimePacer {
             // Advance every event whose virtual time has been reached by
             // the (scaled) wall clock.
             let elapsed_wall_us = epoch_wall.elapsed().as_micros() as f64;
-            let clock_now = epoch_virtual + Duration::from_micros((elapsed_wall_us * self.speed) as u64);
+            let clock_now =
+                epoch_virtual + Duration::from_micros((elapsed_wall_us * self.speed) as u64);
             let horizon = clock_now.min(deadline);
-            while self
-                .sim
-                .peek_time()
-                .is_some_and(|t| t <= horizon)
-            {
+            while self.sim.peek_time().is_some_and(|t| t <= horizon) {
                 self.sim.step();
                 processed += 1;
             }
@@ -69,8 +66,7 @@ impl RealTimePacer {
             }
             // Sleep until the earlier of: the next event, or the deadline.
             let next_virtual = self.sim.peek_time().unwrap_or(deadline).min(deadline);
-            let wall_target_us =
-                (next_virtual - epoch_virtual).micros() as f64 / self.speed;
+            let wall_target_us = (next_virtual - epoch_virtual).micros() as f64 / self.speed;
             let sleep_us = wall_target_us - epoch_wall.elapsed().as_micros() as f64;
             if sleep_us > 0.0 {
                 std::thread::sleep(std::time::Duration::from_micros(sleep_us.min(50_000.0) as u64));

@@ -229,9 +229,6 @@ mod tests {
     fn ordering() {
         assert!(SimTime(1) < SimTime(2));
         assert!(Duration::from_millis(1) < Duration::from_secs(1));
-        assert_eq!(
-            Duration::from_secs(1).saturating_sub(Duration::from_secs(2)),
-            Duration::ZERO
-        );
+        assert_eq!(Duration::from_secs(1).saturating_sub(Duration::from_secs(2)), Duration::ZERO);
     }
 }

@@ -187,7 +187,12 @@ mod tests {
             "client",
             Box::new(OneShot {
                 target: pn,
-                req: Some(PoolReq::AppendJournal { group: 0, epoch: 1, batch: batch(1), req: 7 }),
+                req: Some(PoolReq::AppendJournal {
+                    group: 0,
+                    epoch: 1,
+                    batch: batch(1).into(),
+                    req: 7,
+                }),
                 got_sn: sn.clone(),
                 got_at_us: at.clone(),
             }),
@@ -221,7 +226,8 @@ mod tests {
         let pool = new_shared_pool();
         pool.lock().group_mut(0).advance_epoch(9);
         let mut n = PoolNode::new(pool);
-        let (resp, _) = n.serve(PoolReq::AppendJournal { group: 0, epoch: 3, batch: batch(1), req: 1 });
+        let (resp, _) =
+            n.serve(PoolReq::AppendJournal { group: 0, epoch: 3, batch: batch(1).into(), req: 1 });
         match resp {
             PoolResp::Failed { error: PoolError::Fenced { current: 9, presented: 3 }, .. } => {}
             other => panic!("unexpected {other:?}"),

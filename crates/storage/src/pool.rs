@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use mams_journal::{AppendOutcome, JournalBatch, JournalLog, Sn};
+use mams_journal::{AppendOutcome, JournalLog, SharedBatch, Sn};
 use mams_namespace::NamespaceImage;
 use parking_lot::Mutex;
 
@@ -60,20 +60,24 @@ impl GroupStore {
         Ok(())
     }
 
-    /// Append a batch under the writer's epoch.
+    /// Append a batch under the writer's epoch. The pool retains the shared
+    /// handle the writer sealed — no re-copy of records on the way in.
     pub fn append_journal(
         &mut self,
         epoch: Epoch,
-        batch: JournalBatch,
+        batch: impl Into<SharedBatch>,
     ) -> Result<AppendOutcome, PoolError> {
         self.check_epoch(epoch)?;
         self.journal.append(batch).map_err(|e| PoolError::Journal(e.to_string()))
     }
 
     /// Journal tail after `after_sn` (up to `max` batches). `None` means the
-    /// range was compacted away and the reader needs the image.
-    pub fn read_journal(&self, after_sn: Sn, max: usize) -> Option<Vec<JournalBatch>> {
-        self.journal.read_after(after_sn).map(|s| s.iter().take(max).cloned().collect())
+    /// range was compacted away and the reader needs the image. Returned
+    /// batches share the stored allocations (reference-count bumps only).
+    pub fn read_journal(&self, after_sn: Sn, max: usize) -> Option<Vec<SharedBatch>> {
+        self.journal
+            .read_after(after_sn)
+            .map(|s| s.iter().take(max).map(SharedBatch::share).collect())
     }
 
     /// Tail sn of the shared journal.
@@ -140,7 +144,7 @@ pub fn new_shared_pool() -> SharedPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mams_journal::Txn;
+    use mams_journal::{JournalBatch, Txn};
     use mams_namespace::{encode_image, NamespaceTree};
 
     fn batch(sn: Sn) -> JournalBatch {

@@ -1,7 +1,7 @@
 //! Pool protocol: the messages metadata servers exchange with pool nodes.
 
 use bytes::Bytes;
-use mams_journal::{JournalBatch, Sn};
+use mams_journal::{SharedBatch, Sn};
 use mams_namespace::NamespaceImage;
 
 use crate::pool::{Epoch, GroupId, PoolError};
@@ -12,8 +12,10 @@ pub type ReqId = u64;
 /// Requests served by a [`crate::PoolNode`].
 #[derive(Debug)]
 pub enum PoolReq {
-    /// Append a journal batch under the writer's fencing epoch.
-    AppendJournal { group: GroupId, epoch: Epoch, batch: JournalBatch, req: ReqId },
+    /// Append a journal batch under the writer's fencing epoch. The batch
+    /// is a shared handle to the allocation the active sealed — carrying it
+    /// here costs a reference-count bump, not a copy.
+    AppendJournal { group: GroupId, epoch: Epoch, batch: SharedBatch, req: ReqId },
     /// Read up to `max` batches with sn > `after_sn`.
     ReadJournal { group: GroupId, after_sn: Sn, max: usize, req: ReqId },
     /// Checkpoint an image (compacts the shared journal through its sn).
@@ -31,18 +33,55 @@ pub enum PoolReq {
 /// Responses from a [`crate::PoolNode`].
 #[derive(Debug)]
 pub enum PoolResp {
-    AppendOk { group: GroupId, sn: Sn, duplicate: bool, req: ReqId },
+    AppendOk {
+        group: GroupId,
+        sn: Sn,
+        duplicate: bool,
+        req: ReqId,
+    },
     /// `compacted` means the requested range predates the image checkpoint
     /// and the reader must load the image first.
-    Journal { group: GroupId, batches: Vec<JournalBatch>, tail_sn: Sn, compacted: bool, req: ReqId },
-    ImageWritten { group: GroupId, checkpoint_sn: Sn, req: ReqId },
+    Journal {
+        group: GroupId,
+        batches: Vec<SharedBatch>,
+        tail_sn: Sn,
+        compacted: bool,
+        req: ReqId,
+    },
+    ImageWritten {
+        group: GroupId,
+        checkpoint_sn: Sn,
+        req: ReqId,
+    },
     /// `meta` is `(checkpoint_sn, size_bytes)` or `None` when no image
     /// exists yet.
-    ImageMeta { group: GroupId, meta: Option<(Sn, u64)>, req: ReqId },
-    ImageChunk { group: GroupId, offset: u64, data: Bytes, total: u64, req: ReqId },
-    EpochAdvanced { group: GroupId, epoch: Epoch, req: ReqId },
-    Tail { group: GroupId, sn: Sn, req: ReqId },
-    Failed { group: GroupId, error: PoolError, req: ReqId },
+    ImageMeta {
+        group: GroupId,
+        meta: Option<(Sn, u64)>,
+        req: ReqId,
+    },
+    ImageChunk {
+        group: GroupId,
+        offset: u64,
+        data: Bytes,
+        total: u64,
+        req: ReqId,
+    },
+    EpochAdvanced {
+        group: GroupId,
+        epoch: Epoch,
+        req: ReqId,
+    },
+    Tail {
+        group: GroupId,
+        sn: Sn,
+        req: ReqId,
+    },
+    Failed {
+        group: GroupId,
+        error: PoolError,
+        req: ReqId,
+    },
 }
 
 impl PoolResp {

@@ -46,9 +46,16 @@ fn main() {
     println!("\nrenewing timeline:");
     for e in sim.trace().events() {
         match e.tag {
-            "checkpoint.start" | "checkpoint.done" | "sim.crash" | "sim.restart"
-            | "member.registered_junior" | "renew.session_start" | "renew.begin"
-            | "renew.image_loaded" | "renew.final_sync" | "renew.promoted"
+            "checkpoint.start"
+            | "checkpoint.done"
+            | "sim.crash"
+            | "sim.restart"
+            | "member.registered_junior"
+            | "renew.session_start"
+            | "renew.begin"
+            | "renew.image_loaded"
+            | "renew.final_sync"
+            | "renew.promoted"
             | "member.registered_standby" => println!("  {e}"),
             _ => {}
         }

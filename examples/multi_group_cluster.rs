@@ -39,7 +39,10 @@ fn main() {
     ] {
         let one = throughput(make, 1, 2);
         let three = throughput(make, 3, 6);
-        println!("  {label} 1A2S: {one:>8.0} ops/s   3A6S: {three:>8.0} ops/s   ({:.2}x)", three / one);
+        println!(
+            "  {label} 1A2S: {one:>8.0} ops/s   3A6S: {three:>8.0} ops/s   ({:.2}x)",
+            three / one
+        );
     }
     println!("\ncreate scales with actives (partitioned); mkdir is a distributed");
     println!("transaction that must update every group's directory skeleton, so it");

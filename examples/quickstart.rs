@@ -32,7 +32,11 @@ fn main() {
 
     sim.run_for(Duration::from_secs(45));
 
-    println!("\noperations completed: {} ok, {} failed", metrics.ok_count(), metrics.failed_count());
+    println!(
+        "\noperations completed: {} ok, {} failed",
+        metrics.ok_count(),
+        metrics.failed_count()
+    );
 
     // The failover, step by step, from the protocol trace.
     println!("\nfailover timeline:");
@@ -41,10 +45,19 @@ fn main() {
             continue;
         }
         match e.tag {
-            "sim.crash" | "session.expired" | "lock.freed" | "failover.detected"
-            | "election.start" | "election.won_bid" | "lock.grant"
-            | "failover.lock_acquired" | "failover.view_updated" | "failover.switch_done"
-            | "member.standby" | "renew.session_start" | "renew.promoted" => {
+            "sim.crash"
+            | "session.expired"
+            | "lock.freed"
+            | "failover.detected"
+            | "election.start"
+            | "election.won_bid"
+            | "lock.grant"
+            | "failover.lock_acquired"
+            | "failover.view_updated"
+            | "failover.switch_done"
+            | "member.standby"
+            | "renew.session_start"
+            | "renew.promoted" => {
                 println!("  {e}");
             }
             _ => {}

@@ -83,10 +83,7 @@ fn backupnode_mttr_scales_with_image_but_mams_does_not() {
     // MAMS is flat in image size (hot standbys + block reports to all).
     let m1 = mttr_of("mams", 16, 53);
     let m2 = mttr_of("mams", 512, 54);
-    assert!(
-        (m1 - m2).abs() < 2.0,
-        "MAMS must be flat in image size: {m1:.1}s vs {m2:.1}s"
-    );
+    assert!((m1 - m2).abs() < 2.0, "MAMS must be flat in image size: {m1:.1}s vs {m2:.1}s");
 }
 
 #[test]

@@ -85,11 +85,8 @@ fn randomized_faults_recover_and_stay_consistent() {
         let (sim, metrics) = random_fault_run(seed);
 
         // Service recovered: successes in the final 20 virtual seconds.
-        let late_ok = metrics
-            .completions()
-            .iter()
-            .filter(|c| c.ok && c.at_us > 100_000_000)
-            .count();
+        let late_ok =
+            metrics.completions().iter().filter(|c| c.ok && c.at_us > 100_000_000).count();
         assert!(late_ok > 100, "seed {seed}: no traffic after the fault storm ({late_ok})");
 
         // Fencing epochs only ever increase.
@@ -156,11 +153,7 @@ fn multi_group_cluster_survives_fault_storm() {
         );
     }
     sim.run_until(SimTime(120_000_000));
-    let late_ok = metrics
-        .completions()
-        .iter()
-        .filter(|c| c.ok && c.at_us > 100_000_000)
-        .count();
+    let late_ok = metrics.completions().iter().filter(|c| c.ok && c.at_us > 100_000_000).count();
     assert!(late_ok > 200, "multi-group cluster did not recover ({late_ok})");
     assert!(!sim.trace().events().iter().any(|e| e.tag.contains("diverg")));
 }
@@ -205,11 +198,9 @@ fn coordination_service_restart_heals_without_split_brain() {
     let mut creates = 0u64;
     if let Some(batches) = g.read_journal(0, usize::MAX) {
         for b in batches {
-            creates += b
-                .records
-                .iter()
-                .filter(|r| matches!(r, mams::journal::Txn::Create { .. }))
-                .count() as u64;
+            creates +=
+                b.records.iter().filter(|r| matches!(r, mams::journal::Txn::Create { .. })).count()
+                    as u64;
         }
     }
     assert!(creates + 1 >= metrics.ok_count(), "acked {} journaled {creates}", metrics.ok_count());

@@ -38,7 +38,9 @@ impl Model {
         self.entries
             .keys()
             .filter(|k| {
-                k.starts_with(&prefix) && !k[prefix.len()..].contains('/') && !k[prefix.len()..].is_empty()
+                k.starts_with(&prefix)
+                    && !k[prefix.len()..].contains('/')
+                    && !k[prefix.len()..].is_empty()
             })
             .cloned()
             .collect()
@@ -135,8 +137,15 @@ enum Op {
 
 fn small_path() -> impl Strategy<Value = String> {
     // A tiny alphabet so ops collide often (the interesting cases).
-    prop::collection::vec(prop_oneof!["a".prop_map(String::from), "b".prop_map(String::from), "c".prop_map(String::from)], 1..4)
-        .prop_map(|c| format!("/{}", c.join("/")))
+    prop::collection::vec(
+        prop_oneof![
+            "a".prop_map(String::from),
+            "b".prop_map(String::from),
+            "c".prop_map(String::from)
+        ],
+        1..4,
+    )
+    .prop_map(|c| format!("/{}", c.join("/")))
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {

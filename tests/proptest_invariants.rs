@@ -26,8 +26,11 @@ fn arb_txn() -> impl Strategy<Value = Txn> {
         abs_path(4).prop_map(|path| Txn::Mkdir { path }),
         (abs_path(4), any::<bool>()).prop_map(|(path, recursive)| Txn::Delete { path, recursive }),
         (abs_path(4), abs_path(4)).prop_map(|(src, dst)| Txn::Rename { src, dst }),
-        (abs_path(4), 1u64..1000, 1u32..1 << 20)
-            .prop_map(|(path, block_id, len)| Txn::AddBlock { path, block_id, len }),
+        (abs_path(4), 1u64..1000, 1u32..1 << 20).prop_map(|(path, block_id, len)| Txn::AddBlock {
+            path,
+            block_id,
+            len
+        }),
         abs_path(4).prop_map(|path| Txn::CloseFile { path }),
         (abs_path(4), 0u16..0o777).prop_map(|(path, perm)| Txn::SetPerm { path, perm }),
     ]
@@ -203,6 +206,110 @@ proptest! {
         let (rebuilt, _) = decode_image(bytes::Bytes::from(buf)).expect("chunked round trip");
         prop_assert_eq!(rebuilt.fingerprint(), tree.fingerprint());
     }
+}
+
+// ------------------------------------------------- resolution fast path
+
+/// Every path a transaction names (probe targets for the resolution test).
+fn txn_paths(op: &Txn) -> Vec<&str> {
+    match op {
+        Txn::Create { path, .. }
+        | Txn::Mkdir { path }
+        | Txn::Delete { path, .. }
+        | Txn::AddBlock { path, .. }
+        | Txn::CloseFile { path }
+        | Txn::SetPerm { path, .. } => vec![path],
+        Txn::Rename { src, dst } => vec![src, dst],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The interned-name + parent-directory-cache fast path may never
+    /// disagree with a naive from-root component walk, at any point of a
+    /// random create/mkdir/rename/delete history. Probes cover hits,
+    /// misses, renamed-away sources, deleted subtrees, and every ancestor
+    /// prefix of each.
+    #[test]
+    fn cached_resolution_matches_from_root_walk(
+        ops in prop::collection::vec(arb_txn(), 1..150),
+    ) {
+        let mut tree = NamespaceTree::new();
+        for op in &ops {
+            let _ = tree.apply(op);
+            // Probe immediately after each mutation: a stale cache entry
+            // shows up the moment the invalidation rule is wrong, not just
+            // in the final state.
+            for p in txn_paths(op) {
+                for prefix in mams::namespace::path::prefixes(p) {
+                    prop_assert_eq!(
+                        tree.resolve_path(prefix),
+                        tree.resolve_path_uncached(prefix),
+                        "fast path diverged on {:?} after {:?}", prefix, op
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------- shared-batch replay parity
+
+/// One sealed batch, two consumption paths: a standby ingesting the very
+/// `SyncJournal` handle the active fanned out, and a reader pulling the
+/// pool's `read_after` tail. Both must reconstruct byte-identical
+/// namespaces — sharing the allocation must not change replay semantics.
+#[test]
+fn shared_batch_replays_identically_via_sync_and_pool_paths() {
+    use mams::journal::SharedBatch;
+    use mams::storage::pool::GroupStore;
+
+    let txns = vec![
+        Txn::Mkdir { path: "/a".into() },
+        Txn::Create { path: "/a/f".into(), replication: 3 },
+        Txn::Mkdir { path: "/a/b".into() },
+        Txn::Create { path: "/a/b/g".into(), replication: 2 },
+        Txn::Rename { src: "/a/f".into(), dst: "/a/b/h".into() },
+        Txn::AddBlock { path: "/a/b/h".into(), block_id: 9, len: 4096 },
+    ];
+    let sealed = SharedBatch::sealed(JournalBatch::new(1, 1, txns));
+
+    // Path 1: the standby's SyncJournal ingest — it replays the shared
+    // handle itself.
+    let standby_copy = sealed.share();
+    let mut via_sync = NamespaceTree::new();
+    let mut cur = ReplayCursor::new();
+    let mut sink = |_: u64, t: &Txn| {
+        via_sync.apply(t).expect("valid txn");
+    };
+    cur.offer(&standby_copy, &mut sink);
+
+    // Path 2: the pool append + read_after tail a recovering node replays.
+    let mut store = GroupStore::default();
+    store.append_journal(1, sealed.share()).expect("append");
+    let tail = store.read_journal(0, 16).expect("not compacted");
+    assert_eq!(tail.len(), 1);
+    assert!(
+        SharedBatch::ptr_eq(&tail[0], &sealed),
+        "pool must return the shared allocation, not a copy"
+    );
+    let mut via_pool = NamespaceTree::new();
+    let mut cur2 = ReplayCursor::new();
+    for b in &tail {
+        let mut sink = |_: u64, t: &Txn| {
+            via_pool.apply(t).expect("valid txn");
+        };
+        cur2.offer(b, &mut sink);
+    }
+
+    assert_eq!(via_sync.fingerprint(), via_pool.fingerprint());
+    let img_sync = mams::namespace::encode_image(&via_sync, 1);
+    let img_pool = mams::namespace::encode_image(&via_pool, 1);
+    assert_eq!(img_sync.data, img_pool.data, "replayed namespaces must be byte-identical");
+    // And the wire form both paths would transmit is the single sealed
+    // encoding.
+    assert_eq!(sealed.wire().as_ptr(), standby_copy.wire().as_ptr());
 }
 
 // ----------------------------------------------------------- partition

@@ -39,10 +39,8 @@ fn restarted_member_recovers_through_the_image() {
     );
     // The journal before the checkpoint is compacted, so the junior MUST
     // have gone through the image path.
-    let image_loaded = trace
-        .events()
-        .iter()
-        .any(|e| e.tag == "renew.image_loaded" && e.node == standby);
+    let image_loaded =
+        trace.events().iter().any(|e| e.tag == "renew.image_loaded" && e.node == standby);
     assert!(image_loaded, "junior recovered without loading the image");
     assert!(
         trace.first_at_or_after("renew.promoted", SimTime(20_000_000)).is_some(),
@@ -71,8 +69,7 @@ fn renewal_survives_active_failure_midway() {
         .any(|e| e.tag == "renew.promoted" && e.detail == format!("n{standby}"));
     assert!(promoted, "junior must eventually be renewed by the new active");
     // Service recovered from the active failure too.
-    let late_ok =
-        metrics.completions().iter().filter(|c| c.ok && c.at_us > 80_000_000).count();
+    let late_ok = metrics.completions().iter().filter(|c| c.ok && c.at_us > 80_000_000).count();
     assert!(late_ok > 100, "no late traffic ({late_ok})");
 }
 
@@ -83,10 +80,8 @@ fn junior_with_max_sn_takes_over_when_no_standby_left() {
     // maximum journal sn must win the lock and serve after catching up
     // from the pool.
     let mut sim = Sim::new(SimConfig { seed: 3, ..SimConfig::default() });
-    let mut d = build(
-        &mut sim,
-        DeploySpec { groups: 1, standbys_per_group: 2, ..DeploySpec::default() },
-    );
+    let mut d =
+        build(&mut sim, DeploySpec { groups: 1, standbys_per_group: 2, ..DeploySpec::default() });
     let metrics = Metrics::new(true);
     d.add_client(&mut sim, Workload::create_only(0), metrics.clone());
     let m = d.groups[0].members.clone();
@@ -116,8 +111,7 @@ fn junior_with_max_sn_takes_over_when_no_standby_left() {
     sim.run_until(SimTime(90_000_000));
 
     // Someone took over and service resumed.
-    let late_ok =
-        metrics.completions().iter().filter(|c| c.ok && c.at_us > 70_000_000).count();
+    let late_ok = metrics.completions().iter().filter(|c| c.ok && c.at_us > 70_000_000).count();
     assert!(late_ok > 100, "no takeover by surviving members ({late_ok})");
     // And the winner was one of the two juniors.
     let winner = sim
@@ -189,10 +183,7 @@ fn interrupted_image_transfer_resumes_from_its_checkpoint() {
     sim.run_until(SimTime(90_000_000));
 
     let trace = sim.trace();
-    let resumed = trace
-        .events()
-        .iter()
-        .any(|e| e.tag == "renew.resume" && e.node == standby);
+    let resumed = trace.events().iter().any(|e| e.tag == "renew.resume" && e.node == standby);
     assert!(resumed, "junior must resume the image transfer, not restart it");
     let resumed_offset_nonzero = trace
         .events()
