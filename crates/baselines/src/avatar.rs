@@ -18,7 +18,7 @@ use mams_storage::pool::new_shared_pool;
 use mams_storage::proto::{PoolReq, PoolResp};
 use mams_storage::{DiskModel, PoolNode};
 
-use crate::common::{exec_op, reply, RetryCache};
+use crate::common::{exec_op, reply, RetryCache, SavedCheckpoint};
 
 const T_FLUSH: u64 = 1;
 const T_TAIL: u64 = 2;
@@ -201,6 +201,25 @@ impl Node for AvatarNode {
                 }
             }
             T_SWITCH_DONE if self.role == AvRole::Switching => {
+                // Part of safemode exit: the promoted avatar writes a fresh
+                // fsimage checkpoint and restarts from the reload, so it
+                // serves exactly the state a cold image load yields. The
+                // image I/O is covered by the calibrated switch cost.
+                let cp = SavedCheckpoint::save(&self.ns, self.next_block, self.cursor.max_sn());
+                match cp.restore() {
+                    Ok((tree, _)) => {
+                        ctx.trace("avatar.image_checkpoint", || {
+                            format!(
+                                "v{} image, {} B",
+                                cp.image.version().unwrap_or(0),
+                                cp.image.size_bytes()
+                            )
+                        });
+                        self.ns = tree;
+                        self.next_block = cp.next_block;
+                    }
+                    Err(e) => ctx.trace("avatar.image_corrupt", || e.to_string()),
+                }
                 self.role = AvRole::Active;
                 let me = ctx.id();
                 self.coord.set(ctx, mams_core::keys::active(0), me.to_string(), true);

@@ -16,7 +16,8 @@ use mams_journal::{JournalBatch, ReplayCursor, Sn};
 use mams_namespace::NamespaceTree;
 use mams_sim::{Ctx, Duration, Message, Node, NodeId, Sim};
 
-use crate::common::{exec_op, reply, FsScale, RetryCache};
+use crate::common::{exec_op, reply, FsScale, RetryCache, SavedCheckpoint};
+use mams_storage::DiskModel;
 
 const T_FLUSH: u64 = 1;
 const T_PING: u64 = 2;
@@ -141,8 +142,28 @@ impl BnNode {
 
     fn begin_takeover(&mut self, ctx: &mut Ctx<'_>) {
         self.role = BnRole::Recollecting;
+        // HDFS `-importCheckpoint` semantics: the backup saves its namespace
+        // as a fresh fsimage and restarts from the reload, so the new
+        // primary serves exactly the state a cold image load yields. The
+        // save + reload disk time rides on the recollection timer.
+        let cp = SavedCheckpoint::save(&self.ns, self.next_block, self.cursor.max_sn());
+        let image_io = DiskModel::image_disk().io_time(2 * cp.image.size_bytes());
+        match cp.restore() {
+            Ok((tree, _)) => {
+                ctx.trace("bn.image_restart", || {
+                    format!(
+                        "v{} image, {} B",
+                        cp.image.version().unwrap_or(0),
+                        cp.image.size_bytes()
+                    )
+                });
+                self.ns = tree;
+                self.next_block = cp.next_block;
+            }
+            Err(e) => ctx.trace("bn.image_corrupt", || e.to_string()),
+        }
         let files = self.ns.num_files().max(self.spec.scale.nominal_files);
-        let recollect = Duration::from_micros(files * RECOLLECT_PER_FILE.micros());
+        let recollect = Duration::from_micros(files * RECOLLECT_PER_FILE.micros()) + image_io;
         ctx.trace("bn.takeover_start", || {
             format!("recollecting {files} files' block locations (~{recollect})")
         });

@@ -2,8 +2,8 @@
 //! reply caching, and the scale model.
 
 use mams_core::{FsOp, MdsResp, OpOutput};
-use mams_journal::Txn;
-use mams_namespace::NamespaceTree;
+use mams_journal::{Sn, Txn};
+use mams_namespace::{ImageError, NamespaceImage, NamespaceTree};
 use mams_sim::{Ctx, NodeId};
 
 /// File-system scale for experiments that cannot materialize millions of
@@ -28,6 +28,29 @@ impl FsScale {
 
     pub fn image_bytes(&self) -> u64 {
         self.nominal_files * Self::BYTES_PER_FILE
+    }
+}
+
+/// A namenode checkpoint: the fsimage a restarting or taking-over node
+/// reloads (HDFS `-importCheckpoint` style), plus the block-id cursor that
+/// rides alongside it. Saved in the current wire format; images saved
+/// before the v2 cutover restore through the same call (the decoder
+/// dispatches on the version byte).
+#[derive(Debug, Clone)]
+pub struct SavedCheckpoint {
+    pub image: NamespaceImage,
+    pub next_block: u64,
+}
+
+impl SavedCheckpoint {
+    /// Snapshot the namespace as a current-format image.
+    pub fn save(ns: &NamespaceTree, next_block: u64, sn: Sn) -> SavedCheckpoint {
+        SavedCheckpoint { image: mams_namespace::encode_image(ns, sn), next_block }
+    }
+
+    /// Reload the image (either wire version) into a fresh namespace.
+    pub fn restore(&self) -> Result<(NamespaceTree, Sn), ImageError> {
+        mams_namespace::decode_image(self.image.data.clone())
     }
 }
 
@@ -125,6 +148,35 @@ mod tests {
             s.nominal_files
         );
         assert_eq!(FsScale { nominal_files: 10 }.image_bytes(), 1_500);
+    }
+
+    #[test]
+    fn checkpoint_saves_v2_and_restores_identically() {
+        let mut ns = NamespaceTree::new();
+        ns.mkdir_p("/srv/data").unwrap();
+        for i in 0..10 {
+            ns.create(&format!("/srv/data/f{i}"), 3).unwrap();
+            ns.add_block(&format!("/srv/data/f{i}"), 100 + i).unwrap();
+        }
+        let cp = SavedCheckpoint::save(&ns, 111, 42);
+        assert_eq!(cp.image.version(), Some(mams_namespace::VERSION_V2));
+        let (restored, sn) = cp.restore().unwrap();
+        assert_eq!(sn, 42);
+        assert_eq!(cp.next_block, 111);
+        assert_eq!(restored.fingerprint(), ns.fingerprint());
+    }
+
+    #[test]
+    fn checkpoint_restores_legacy_v1_images() {
+        let mut ns = NamespaceTree::new();
+        ns.mkdir_p("/old/world").unwrap();
+        ns.create("/old/world/f", 2).unwrap();
+        // A checkpoint saved by a pre-v2 binary.
+        let cp = SavedCheckpoint { image: mams_namespace::encode_image_v1(&ns, 7), next_block: 9 };
+        assert_eq!(cp.image.version(), Some(mams_namespace::VERSION_V1));
+        let (restored, sn) = cp.restore().unwrap();
+        assert_eq!(sn, 7);
+        assert_eq!(restored.fingerprint(), ns.fingerprint());
     }
 
     #[test]

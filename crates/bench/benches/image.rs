@@ -1,0 +1,70 @@
+//! Criterion benchmarks for the namespace-image pipeline: legacy full-path
+//! v1 vs parent-id delta v2 encode/decode, and chunked streaming decode vs
+//! buffered decode. The wall-clock sweep lives in `bench_image` (the
+//! binary); these isolate the per-format costs at a fixed 50k-file tree.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mams_namespace::{
+    decode_image, encode_image, encode_image_v1, NamespaceTree, StreamingImageDecoder,
+};
+
+const FILES: u64 = 50_000;
+const FILES_PER_DIR: u64 = 250;
+const CHUNK: usize = 64 * 1024;
+
+fn sample_tree() -> NamespaceTree {
+    let mut t = NamespaceTree::new();
+    let mut made = 0u64;
+    'outer: for d in 0.. {
+        let dir = format!("/project{d:04}/dataset");
+        t.mkdir_p(&dir).unwrap();
+        for f in 0..FILES_PER_DIR {
+            let p = format!("{dir}/part-{f:05}.data");
+            t.create(&p, 3).unwrap();
+            t.add_block(&p, made * 2 + 1).unwrap();
+            t.close_file(&p).unwrap();
+            made += 1;
+            if made >= FILES {
+                break 'outer;
+            }
+        }
+    }
+    t
+}
+
+fn bench_image_formats(c: &mut Criterion) {
+    let tree = sample_tree();
+    let v1 = encode_image_v1(&tree, 1);
+    let v2 = encode_image(&tree, 1);
+
+    let mut g = c.benchmark_group("image_format");
+    g.throughput(Throughput::Elements(FILES));
+    g.bench_function("encode_v1_50k", |b| b.iter(|| encode_image_v1(&tree, 1)));
+    g.bench_function("encode_v2_50k", |b| b.iter(|| encode_image(&tree, 1)));
+    g.bench_function("decode_v1_50k", |b| b.iter(|| decode_image(v1.data.clone()).unwrap()));
+    g.bench_function("decode_v2_50k", |b| b.iter(|| decode_image(v2.data.clone()).unwrap()));
+    g.finish();
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let tree = sample_tree();
+    let v2 = encode_image(&tree, 1);
+
+    let mut g = c.benchmark_group("image_streaming");
+    g.throughput(Throughput::Bytes(v2.size_bytes()));
+    g.bench_function("buffered_decode", |b| b.iter(|| decode_image(v2.data.clone()).unwrap()));
+    g.bench_function("streaming_decode_64k_chunks", |b| {
+        b.iter(|| {
+            let mut d = StreamingImageDecoder::new();
+            d.reserve_hint(v2.size_bytes());
+            for c in v2.data.chunks(CHUNK) {
+                d.push(c).unwrap();
+            }
+            d.finish().unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_image_formats, bench_streaming);
+criterion_main!(benches);

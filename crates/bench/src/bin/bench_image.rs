@@ -1,0 +1,194 @@
+//! Wall-clock image-pipeline benchmark: encode/decode of namespace images
+//! in the legacy full-path v1 format vs the parent-id delta v2 format, plus
+//! chunked streaming decode — the work that dominates junior catch-up and
+//! the Table I MTTR sweep.
+//!
+//! A fixed-seed generator builds realistic trees sized so their *v1* image
+//! lands in the 16/64/256 MB classes the paper sweeps, then each stage is
+//! timed best-of-5 (identical deterministic work per rep). Results go to
+//! `BENCH_image.json` at the repo root so successive PRs can track the
+//! perf trajectory.
+//!
+//! Run from the repo root: `cargo run --release --bin bench_image`
+//! (`--quick` runs only the smallest class with fewer reps — the CI smoke).
+
+use std::time::Instant;
+
+use bytes::Bytes;
+use mams_namespace::{
+    decode_image, encode_image, encode_image_v1, NamespaceTree, StreamingImageDecoder,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const SEED: u64 = 0x4d41_4d53; // "MAMS"
+/// Approximate v1 bytes per file for the generated shape (path ~43 chars,
+/// fixed attrs, ~2 blocks) — used only to size the tree per class.
+const V1_BYTES_PER_FILE: u64 = 72;
+/// Files per leaf directory.
+const FILES_PER_DIR: u64 = 256;
+/// Streaming-decode chunk size (the renewing default is the same order).
+const CHUNK: usize = 64 * 1024;
+
+/// Deterministic tree with paper-like shape: two directory levels with
+/// realistic component names, `FILES_PER_DIR` files per leaf, 0–3 blocks
+/// per file.
+fn build_tree(target_files: u64, rng: &mut SmallRng) -> NamespaceTree {
+    let mut t = NamespaceTree::new();
+    let leaf_dirs = (target_files / FILES_PER_DIR).max(1);
+    let tops = ((leaf_dirs as f64).sqrt().ceil() as u64).max(1);
+    let subs = leaf_dirs.div_ceil(tops);
+    let mut made = 0u64;
+    let mut block = 1u64;
+    'outer: for d in 0..tops {
+        let top = format!("/project{d:04}");
+        t.mkdir(&top).unwrap();
+        for s in 0..subs {
+            let dir = format!("{top}/dataset{s:04}");
+            t.mkdir(&dir).unwrap();
+            for f in 0..FILES_PER_DIR {
+                let p = format!("{dir}/part-{f:05}.data");
+                t.create(&p, 3).unwrap();
+                for _ in 0..rng.gen_range(0u32..4) {
+                    t.add_block(&p, block).unwrap();
+                    block += 1;
+                }
+                if rng.gen_range(0u32..100) < 80 {
+                    t.close_file(&p).unwrap();
+                }
+                made += 1;
+                if made >= target_files {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    t
+}
+
+/// Best-of-`reps` wall time of `f` in seconds.
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct ClassResult {
+    class_mb: u64,
+    files: u64,
+    dirs: u64,
+    v1_bytes: u64,
+    v2_bytes: u64,
+    encode_v1_s: f64,
+    encode_v2_s: f64,
+    decode_v1_s: f64,
+    decode_v2_s: f64,
+    decode_v2_streaming_s: f64,
+}
+
+fn run_class(class_mb: u64, reps: usize) -> ClassResult {
+    let mut rng = SmallRng::seed_from_u64(SEED ^ class_mb);
+    let target_files = (class_mb * 1024 * 1024) / V1_BYTES_PER_FILE;
+    let tree = build_tree(target_files, &mut rng);
+
+    let encode_v1_s = best_of(reps, || encode_image_v1(&tree, 1));
+    let encode_v2_s = best_of(reps, || encode_image(&tree, 1));
+    let v1 = encode_image_v1(&tree, 1);
+    let v2 = encode_image(&tree, 1);
+
+    let decode_v1_s = best_of(reps, || decode_image(v1.data.clone()).unwrap());
+    let decode_v2_s = best_of(reps, || decode_image(v2.data.clone()).unwrap());
+    let decode_v2_streaming_s = best_of(reps, || {
+        let mut d = StreamingImageDecoder::new();
+        for c in v2.data.chunks(CHUNK) {
+            d.push(c).unwrap();
+        }
+        d.finish().unwrap()
+    });
+
+    // Every decode path must reconstruct the same namespace.
+    let fp = tree.fingerprint();
+    for img in [&v1, &v2] {
+        let (t, _) = decode_image(Bytes::clone(&img.data)).unwrap();
+        assert_eq!(t.fingerprint(), fp, "decode mismatch at {class_mb} MB class");
+    }
+
+    println!(
+        "class {class_mb:>4} MB: {} files | v1 {:>4} MB, v2 {:>4} MB ({:.2}x smaller) | \
+         decode v1 {:.3}s, v2 {:.3}s ({:.2}x), streaming {:.3}s | \
+         encode v1 {:.3}s, v2 {:.3}s ({:.2}x)",
+        tree.num_files(),
+        v1.size_bytes() >> 20,
+        v2.size_bytes() >> 20,
+        v1.size_bytes() as f64 / v2.size_bytes() as f64,
+        decode_v1_s,
+        decode_v2_s,
+        decode_v1_s / decode_v2_s,
+        decode_v2_streaming_s,
+        encode_v1_s,
+        encode_v2_s,
+        encode_v1_s / encode_v2_s,
+    );
+
+    ClassResult {
+        class_mb,
+        files: tree.num_files(),
+        dirs: tree.num_dirs(),
+        v1_bytes: v1.size_bytes(),
+        v2_bytes: v2.size_bytes(),
+        encode_v1_s,
+        encode_v2_s,
+        decode_v1_s,
+        decode_v2_s,
+        decode_v2_streaming_s,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (classes, reps): (&[u64], usize) = if quick { (&[16], 2) } else { (&[16, 64, 256], 5) };
+
+    let results: Vec<ClassResult> = classes.iter().map(|&mb| run_class(mb, reps)).collect();
+
+    // Hand-rolled JSON: the offline serde_json stand-in cannot serialize,
+    // and this document is the repo's perf trajectory — it must hold real
+    // numbers in every environment.
+    let mut doc = String::new();
+    doc.push_str(&format!(
+        "{{\n  \"bench\": \"image\",\n  \"seed\": {SEED},\n  \"reps\": {reps},\n  \
+         \"chunk_bytes\": {CHUNK},\n  \"classes\": [\n"
+    ));
+    for (i, r) in results.iter().enumerate() {
+        doc.push_str(&format!(
+            "    {{\n      \"class_mb\": {},\n      \"files\": {},\n      \"dirs\": {},\n      \
+             \"v1_bytes\": {},\n      \"v2_bytes\": {},\n      \
+             \"size_ratio_v1_over_v2\": {:.3},\n      \
+             \"encode_v1_s\": {:.6},\n      \"encode_v2_s\": {:.6},\n      \
+             \"encode_speedup_v2\": {:.3},\n      \
+             \"decode_v1_s\": {:.6},\n      \"decode_v2_s\": {:.6},\n      \
+             \"decode_v2_streaming_s\": {:.6},\n      \"decode_speedup_v2\": {:.3}\n    }}{}\n",
+            r.class_mb,
+            r.files,
+            r.dirs,
+            r.v1_bytes,
+            r.v2_bytes,
+            r.v1_bytes as f64 / r.v2_bytes as f64,
+            r.encode_v1_s,
+            r.encode_v2_s,
+            r.encode_v1_s / r.encode_v2_s,
+            r.decode_v1_s,
+            r.decode_v2_s,
+            r.decode_v2_streaming_s,
+            r.decode_v1_s / r.decode_v2_s,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    doc.push_str("  ]\n}\n");
+    let out = "BENCH_image.json";
+    std::fs::write(out, doc).expect("write BENCH_image.json");
+    println!("saved {out}");
+}

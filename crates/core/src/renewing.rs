@@ -12,8 +12,8 @@
 //! the remaining batches directly; once the junior acknowledges the tail
 //! `sn`, the active promotes it and the junior announces itself a standby.
 
-use bytes::Bytes;
 use mams_journal::{JournalLog, ReplayCursor, SharedBatch, Sn};
+use mams_namespace::StreamingImageDecoder;
 use mams_sim::{Ctx, NodeId};
 use mams_storage::proto::{PoolReq, PoolResp};
 
@@ -193,7 +193,7 @@ impl MdsServer {
             return;
         }
         match resp {
-            PoolResp::ImageMeta { meta: Some((image_sn, _size)), .. } => {
+            PoolResp::ImageMeta { meta: Some((image_sn, size)), .. } => {
                 if image_sn <= self.cursor.max_sn() {
                     // We are already past the checkpoint: journal only.
                     if let Some(c) = self.catchup.as_mut() {
@@ -207,7 +207,9 @@ impl MdsServer {
                     CatchupStage::Image { offset, .. } => *offset,
                     _ => {
                         if let Some(c) = self.catchup.as_mut() {
-                            c.stage = CatchupStage::Image { offset: 0, buf: Vec::new() };
+                            let mut decoder = Box::new(StreamingImageDecoder::new());
+                            decoder.reserve_hint(size);
+                            c.stage = CatchupStage::Image { offset: 0, decoder };
                         }
                         0
                     }
@@ -232,24 +234,45 @@ impl MdsServer {
                 return;
             }
         };
-        let done = {
+        // Feed the chunk straight into the streaming decoder: the tree is
+        // rebuilt as bytes arrive, so the junior never holds a whole-image
+        // buffer and the decode cost overlaps the transfer.
+        let step = {
             let c = match self.catchup.as_mut() {
                 Some(c) => c,
                 None => return,
             };
             match &mut c.stage {
-                CatchupStage::Image { offset, buf } => {
+                CatchupStage::Image { offset, decoder } => {
                     if chunk_offset != *offset {
                         // A duplicate/stale stream (e.g. a resumed session
                         // racing the original): exactly one stream may
                         // advance the cursor; drop the other.
                         return;
                     }
-                    buf.extend_from_slice(&data);
-                    *offset += data.len() as u64;
-                    *offset >= total || data.is_empty()
+                    match decoder.push(&data) {
+                        Ok(()) => {
+                            *offset += data.len() as u64;
+                            if *offset >= total || data.is_empty() {
+                                Ok(true)
+                            } else {
+                                Ok(false)
+                            }
+                        }
+                        Err(e) => Err(e),
+                    }
                 }
                 _ => return, // stale chunk after a stage change
+            }
+        };
+        let done = match step {
+            Ok(done) => done,
+            Err(e) => {
+                ctx.trace("renew.image_corrupt", || e.to_string());
+                // Retransmit from scratch.
+                self.catchup = Some(Catchup { stage: CatchupStage::Meta });
+                self.request_image_meta(ctx, for_upgrade);
+                return;
             }
         };
         if !done {
@@ -260,21 +283,24 @@ impl MdsServer {
             self.request_image_chunk(ctx, offset, for_upgrade);
             return;
         }
-        // Whole image in hand: rebuild the namespace from it.
-        let buf = match self.catchup.as_mut() {
-            Some(Catchup { stage: CatchupStage::Image { buf, .. }, .. }) => std::mem::take(buf),
-            _ => return,
+        // Every byte delivered: verify the checksum and adopt the tree.
+        let decoder = match self.catchup.as_mut() {
+            Some(c) => match std::mem::replace(&mut c.stage, CatchupStage::Journal) {
+                CatchupStage::Image { decoder, .. } => decoder,
+                other => {
+                    c.stage = other;
+                    return;
+                }
+            },
+            None => return,
         };
-        match mams_namespace::decode_image(Bytes::from(buf)) {
+        match decoder.finish() {
             Ok((tree, image_sn)) => {
                 ctx.trace("renew.image_loaded", || format!("checkpoint sn {image_sn}"));
                 self.ns = tree;
                 self.log = JournalLog::with_base(image_sn);
                 self.cursor = ReplayCursor::at(image_sn);
                 self.stash.clear();
-                if let Some(c) = self.catchup.as_mut() {
-                    c.stage = CatchupStage::Journal;
-                }
                 self.request_journal_page(ctx, for_upgrade);
             }
             Err(e) => {

@@ -137,9 +137,10 @@ impl Inflight {
 pub(crate) enum CatchupStage {
     /// Asked the pool for image metadata.
     Meta,
-    /// Downloading image chunks; `buf` accumulates, `offset` is the resume
+    /// Downloading image chunks; each chunk is decoded on arrival by the
+    /// streaming decoder (no whole-image buffer), `offset` is the resume
     /// checkpoint.
-    Image { offset: u64, buf: Vec<u8> },
+    Image { offset: u64, decoder: Box<mams_namespace::StreamingImageDecoder> },
     /// Replaying journal pages from the pool.
     Journal,
     /// Waiting for the active's final synchronization range.

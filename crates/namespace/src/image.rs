@@ -1,14 +1,31 @@
 //! Namespace images: checkpoints of the whole tree.
 //!
 //! The renewing protocol ships an image to a junior whose journal gap is too
-//! large to replay record-by-record. Images are encoded as a preorder DFS of
-//! full-path entries so a decoder can rebuild the tree with the same public
-//! operations used at runtime, and are read back in *chunks* so the junior
-//! can checkpoint its progress and resume after an interruption (Section
-//! III-D: "the junior records the checkpoint that has been committed ... and
-//! avoid retransmitting the whole files").
+//! large to replay record-by-record. Two wire formats exist behind the
+//! version byte:
+//!
+//! * **v1** (legacy): a preorder DFS of *full-path* entries, rebuilt by the
+//!   decoder through the public namespace operations. Still decoded for
+//!   images written before the v2 cutover; no longer written.
+//! * **v2** (current): a preorder DFS of **parent-id delta** entries —
+//!   `(parent entry index, name, attrs)` with varint lengths. The encoder
+//!   emits borrowed name slices (zero per-entry `String`s) and the decoder
+//!   attaches each inode directly under its already-materialized parent in
+//!   a single pass: no from-root path resolution, no second lookup to set
+//!   permissions, and names shrink the image (a path appears once, not once
+//!   per descendant).
+//!
+//! Images are read back in *chunks* so the junior can checkpoint its
+//! progress and resume after an interruption (Section III-D: "the junior
+//! records the checkpoint that has been committed ... and avoid
+//! retransmitting the whole files"). [`StreamingImageDecoder`] consumes
+//! those chunks at arbitrary boundaries as they arrive, so the junior never
+//! buffers a whole image before starting to rebuild the tree.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bytes::{BufMut, Bytes, BytesMut};
 use mams_journal::Sn;
 
 use crate::inode::{Inode, InodeId, ROOT_ID};
@@ -17,8 +34,17 @@ use crate::tree::NamespaceTree;
 
 /// Image format magic ("MIMG").
 pub const MAGIC: u32 = 0x4d49_4d47;
-/// Current image format version.
-pub const VERSION: u16 = 1;
+/// Legacy full-path image format.
+pub const VERSION_V1: u16 = 1;
+/// Parent-id delta image format.
+pub const VERSION_V2: u16 = 2;
+/// Current image format version (what encoders write).
+pub const VERSION: u16 = VERSION_V2;
+
+/// Fixed header: magic (4) + version (2) + checkpoint sn (8) + root perm (2).
+const HEADER_LEN: usize = 16;
+/// Trailing checksum length.
+const TRAILER_LEN: usize = 8;
 
 /// Image decode failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,32 +90,236 @@ impl NamespaceImage {
         self.data.len() as u64
     }
 
+    /// Wire format version of the encoded bytes (`None` if the header is
+    /// shorter than the version field).
+    pub fn version(&self) -> Option<u16> {
+        self.data.get(4..6).map(|b| u16::from_be_bytes([b[0], b[1]]))
+    }
+
     /// A chunk `[offset, offset + len)` of the encoded bytes, clamped to the
     /// image end. Used by the resumable transfer in the renewing protocol.
     pub fn chunk(&self, offset: u64, len: u64) -> Bytes {
-        let start = (offset as usize).min(self.data.len());
-        let end = ((offset + len) as usize).min(self.data.len());
+        let size = self.data.len() as u64;
+        let start = offset.min(size) as usize;
+        let end = offset.saturating_add(len).min(size) as usize;
         self.data.slice(start..end)
     }
 }
 
-fn fnv1a64(data: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in data {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1_0000_0000_01b3);
-    }
-    h
+// ---------------------------------------------------------------- checksum
+
+/// Incremental FNV-1a (64-bit). Byte-identical to the classic one-byte-at-
+/// a-time definition, but the bulk loop loads 8-byte words and unrolls the
+/// eight byte-steps from a register — fewer loads and bounds checks on the
+/// megabytes-long image bodies. Feeding it the same bytes in any split
+/// produces the same digest, which is what lets encode seal the checksum
+/// without re-scanning the buffer and lets the streaming decoder verify
+/// chunk by chunk.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Fnv1a64 {
+    h: u64,
 }
 
-/// Encode the tree into an image checkpointed at `checkpoint_sn`.
+impl Fnv1a64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1_0000_0000_01b3;
+
+    pub(crate) fn new() -> Self {
+        Fnv1a64 { h: Self::OFFSET }
+    }
+
+    #[inline]
+    pub(crate) fn write(&mut self, data: &[u8]) {
+        const P: u64 = Fnv1a64::PRIME;
+        let mut h = self.h;
+        let mut words = data.chunks_exact(8);
+        for w in &mut words {
+            let x = u64::from_le_bytes(w.try_into().expect("8-byte chunk"));
+            h = (h ^ (x & 0xff)).wrapping_mul(P);
+            h = (h ^ ((x >> 8) & 0xff)).wrapping_mul(P);
+            h = (h ^ ((x >> 16) & 0xff)).wrapping_mul(P);
+            h = (h ^ ((x >> 24) & 0xff)).wrapping_mul(P);
+            h = (h ^ ((x >> 32) & 0xff)).wrapping_mul(P);
+            h = (h ^ ((x >> 40) & 0xff)).wrapping_mul(P);
+            h = (h ^ ((x >> 48) & 0xff)).wrapping_mul(P);
+            h = (h ^ (x >> 56)).wrapping_mul(P);
+        }
+        for &b in words.remainder() {
+            h = (h ^ b as u64).wrapping_mul(P);
+        }
+        self.h = h;
+    }
+
+    pub(crate) fn digest(&self) -> u64 {
+        self.h
+    }
+}
+
+/// One-shot FNV-1a 64 (test oracle).
+#[cfg(test)]
+fn fnv1a64(data: &[u8]) -> u64 {
+    let mut f = Fnv1a64::new();
+    f.write(data);
+    f.digest()
+}
+
+// ----------------------------------------------------------------- varints
+
+/// LEB128-encode `v`.
+fn put_varint(buf: &mut HashingBuf, mut v: u64) {
+    let mut tmp = [0u8; 10];
+    let mut n = 0;
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        tmp[n] = if v == 0 { b } else { b | 0x80 };
+        n += 1;
+        if v == 0 {
+            break;
+        }
+    }
+    buf.put_slice(&tmp[..n]);
+}
+
+/// Result of peeking a varint at the front of a window.
+enum Varint {
+    /// Not enough bytes yet.
+    Need,
+    /// Malformed (longer than 10 bytes or overflowing 64 bits).
+    Bad,
+    /// Decoded value and its encoded length.
+    Val(u64, usize),
+}
+
+fn peek_varint(w: &[u8]) -> Varint {
+    let mut x = 0u64;
+    for (i, &b) in w.iter().enumerate() {
+        if i == 9 && (b & 0x7f) > 1 || i > 9 {
+            return Varint::Bad;
+        }
+        x |= ((b & 0x7f) as u64) << (7 * i);
+        if b & 0x80 == 0 {
+            return Varint::Val(x, i + 1);
+        }
+    }
+    Varint::Need
+}
+
+// ------------------------------------------------------------------ encode
+
+/// An output buffer that folds every written byte into the running
+/// checksum, so sealing the image is one 8-byte append instead of a second
+/// scan over the whole body.
+struct HashingBuf {
+    buf: BytesMut,
+    hash: Fnv1a64,
+}
+
+impl HashingBuf {
+    fn with_capacity(n: usize) -> Self {
+        HashingBuf { buf: BytesMut::with_capacity(n), hash: Fnv1a64::new() }
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.hash.write(&[v]);
+        self.buf.put_u8(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.hash.write(&v.to_be_bytes());
+        self.buf.put_u16(v);
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.hash.write(&v.to_be_bytes());
+        self.buf.put_u32(v);
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.hash.write(&v.to_be_bytes());
+        self.buf.put_u64(v);
+    }
+
+    fn put_slice(&mut self, s: &[u8]) {
+        self.hash.write(s);
+        self.buf.put_slice(s);
+    }
+
+    /// Append the checksum trailer (not hashed) and freeze.
+    fn seal(mut self) -> Bytes {
+        let sum = self.hash.digest();
+        self.buf.put_u64(sum);
+        self.buf.freeze()
+    }
+
+    fn header(&mut self, version: u16, checkpoint_sn: Sn, root_perm: u16) {
+        self.put_u32(MAGIC);
+        self.put_u16(version);
+        self.put_u64(checkpoint_sn);
+        self.put_u16(root_perm);
+    }
+}
+
+/// Encode the tree into a current-format (v2) image checkpointed at
+/// `checkpoint_sn`.
 pub fn encode_image(tree: &NamespaceTree, checkpoint_sn: Sn) -> NamespaceImage {
-    let mut buf = BytesMut::with_capacity(4096);
-    buf.put_u32(MAGIC);
-    buf.put_u16(VERSION);
-    buf.put_u64(checkpoint_sn);
-    // Root attributes.
-    buf.put_u16(tree.inodes[&ROOT_ID].perm());
+    let mut out = HashingBuf::with_capacity(4096);
+    out.header(VERSION_V2, checkpoint_sn, tree.inodes[&ROOT_ID].perm());
+
+    // Preorder DFS. Every emitted entry gets the next index (the root is
+    // index 0 and is never emitted); children reference their parent by
+    // that index, which the decoder has always already materialized.
+    // Names ride as `Arc<str>` handles — reference-count bumps, no copies.
+    let mut next_index: u64 = 1;
+    let mut stack: Vec<(InodeId, Arc<str>, u64)> = Vec::new();
+    if let Inode::Directory { children, .. } = &tree.inodes[&ROOT_ID] {
+        for (name, child) in children.iter().rev() {
+            stack.push((*child, name.clone(), 0));
+        }
+    }
+    while let Some((id, name, parent)) = stack.pop() {
+        let my_index = next_index;
+        next_index += 1;
+        match &tree.inodes[&id] {
+            Inode::Directory { children, perm } => {
+                out.put_u8(b'D');
+                put_varint(&mut out, parent);
+                put_varint(&mut out, name.len() as u64);
+                out.put_slice(name.as_bytes());
+                out.put_u16(*perm);
+                for (n, child) in children.iter().rev() {
+                    stack.push((*child, n.clone(), my_index));
+                }
+            }
+            Inode::File { blocks, replication, sealed, perm } => {
+                out.put_u8(b'F');
+                put_varint(&mut out, parent);
+                put_varint(&mut out, name.len() as u64);
+                out.put_slice(name.as_bytes());
+                out.put_u16(*perm);
+                out.put_u8(*replication);
+                out.put_u8(*sealed as u8);
+                put_varint(&mut out, blocks.len() as u64);
+                for b in blocks {
+                    put_varint(&mut out, *b);
+                }
+            }
+        }
+    }
+    NamespaceImage {
+        checkpoint_sn,
+        data: out.seal(),
+        files: tree.num_files(),
+        dirs: tree.num_dirs(),
+    }
+}
+
+/// Encode the tree in the legacy full-path v1 format. Kept for
+/// compatibility tests and as the benchmark baseline; production writers
+/// use [`encode_image`].
+pub fn encode_image_v1(tree: &NamespaceTree, checkpoint_sn: Sn) -> NamespaceImage {
+    let mut out = HashingBuf::with_capacity(4096);
+    out.header(VERSION_V1, checkpoint_sn, tree.inodes[&ROOT_ID].perm());
 
     // Preorder DFS with explicit paths; children of a directory are visited
     // in sorted order, so parents always precede children.
@@ -98,127 +328,384 @@ pub fn encode_image(tree: &NamespaceTree, checkpoint_sn: Sn) -> NamespaceImage {
         match &tree.inodes[&id] {
             Inode::Directory { children, perm } => {
                 if id != ROOT_ID {
-                    buf.put_u8(b'D');
-                    buf.put_u32(p.len() as u32);
-                    buf.put_slice(p.as_bytes());
-                    buf.put_u16(*perm);
+                    out.put_u8(b'D');
+                    out.put_u32(p.len() as u32);
+                    out.put_slice(p.as_bytes());
+                    out.put_u16(*perm);
                 }
                 for (name, child) in children.iter().rev() {
                     stack.push((*child, nspath::join(&p, name)));
                 }
             }
             Inode::File { blocks, replication, sealed, perm } => {
-                buf.put_u8(b'F');
-                buf.put_u32(p.len() as u32);
-                buf.put_slice(p.as_bytes());
-                buf.put_u16(*perm);
-                buf.put_u8(*replication);
-                buf.put_u8(*sealed as u8);
-                buf.put_u32(blocks.len() as u32);
+                out.put_u8(b'F');
+                out.put_u32(p.len() as u32);
+                out.put_slice(p.as_bytes());
+                out.put_u16(*perm);
+                out.put_u8(*replication);
+                out.put_u8(*sealed as u8);
+                out.put_u32(blocks.len() as u32);
                 for b in blocks {
-                    buf.put_u64(*b);
+                    out.put_u64(*b);
                 }
             }
         }
     }
-    let sum = fnv1a64(&buf);
-    buf.put_u64(sum);
     NamespaceImage {
         checkpoint_sn,
-        data: buf.freeze(),
+        data: out.seal(),
         files: tree.num_files(),
         dirs: tree.num_dirs(),
     }
 }
 
-/// Decode an image back into a tree, verifying the checksum. Returns the
-/// tree and the checkpoint sn stored in the image.
-pub fn decode_image(data: Bytes) -> Result<(NamespaceTree, Sn), ImageError> {
-    if data.len() < 8 {
-        return Err(ImageError::Truncated);
-    }
-    let body_len = data.len() - 8;
-    let body = data.slice(..body_len);
-    let stored = {
-        let mut t = data.slice(body_len..);
-        t.get_u64()
-    };
-    if stored != fnv1a64(&body) {
-        return Err(ImageError::BadChecksum);
-    }
-    let mut buf = body;
-    if buf.remaining() < 4 + 2 + 8 + 2 {
-        return Err(ImageError::Truncated);
-    }
-    let magic = buf.get_u32();
-    if magic != MAGIC {
-        return Err(ImageError::BadMagic(magic));
-    }
-    let version = buf.get_u16();
-    if version != VERSION {
-        return Err(ImageError::BadVersion(version));
-    }
-    let sn = buf.get_u64();
-    let root_perm = buf.get_u16();
-    let mut tree = NamespaceTree::new();
-    tree.set_perm("/", root_perm).expect("root exists");
+// ------------------------------------------------------------------ decode
 
-    while buf.has_remaining() {
-        let kind = buf.get_u8();
-        if buf.remaining() < 4 {
-            return Err(ImageError::Truncated);
+/// Chunk-incremental image decoder.
+///
+/// A push-based state machine: feed encoded bytes in chunks of any size
+/// with [`push`](Self::push), then call [`finish`](Self::finish) once the
+/// whole image has been delivered. Entries are applied to the tree as soon
+/// as they are complete, so decoding overlaps the transfer and no whole-
+/// image buffer ever exists. The decoder handles both wire formats behind
+/// the version byte.
+///
+/// **Checkpoint rule:** after any `push`, [`checkpoint`](Self::checkpoint)
+/// reports `(offset, last_inode)` — the total bytes accepted and the most
+/// recently materialized inode. A transfer interrupted and resumed from
+/// `offset` (with the same decoder, as the renewing junior does) yields a
+/// result identical to an uninterrupted decode: the decoder internally
+/// holds back the final [`TRAILER_LEN`] bytes it has seen plus any
+/// incomplete entry, so chunk boundaries never split its view of the body.
+///
+/// Errors are sticky: after a `push` fails the decoder refuses further
+/// input, and the caller restarts the transfer from scratch.
+#[derive(Debug)]
+pub struct StreamingImageDecoder {
+    tree: NamespaceTree,
+    /// Entry index → inode id (index 0 is the root). v2 only.
+    ids: Vec<InodeId>,
+    sn: Sn,
+    version: u16,
+    header_done: bool,
+    hash: Fnv1a64,
+    /// Total bytes accepted (the junior's resume offset).
+    offset: u64,
+    /// Undecoded tail: the held-back checksum candidate plus any
+    /// incomplete entry straddling the last chunk boundary.
+    pending: Vec<u8>,
+    /// Most recently attached inode (checkpoint telemetry).
+    last_id: InodeId,
+    err: Option<ImageError>,
+}
+
+impl Default for StreamingImageDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingImageDecoder {
+    pub fn new() -> Self {
+        StreamingImageDecoder {
+            tree: NamespaceTree::new(),
+            ids: vec![ROOT_ID],
+            sn: 0,
+            version: 0,
+            header_done: false,
+            hash: Fnv1a64::new(),
+            offset: 0,
+            pending: Vec::new(),
+            last_id: ROOT_ID,
+            err: None,
         }
-        let plen = buf.get_u32() as usize;
-        if buf.remaining() < plen {
-            return Err(ImageError::Truncated);
+    }
+
+    /// Consume the next chunk of encoded bytes (any size, including empty).
+    pub fn push(&mut self, chunk: &[u8]) -> Result<(), ImageError> {
+        if let Some(e) = &self.err {
+            return Err(e.clone());
         }
-        let pbytes = buf.copy_to_bytes(plen);
-        let p = std::str::from_utf8(&pbytes)
-            .map_err(|_| ImageError::Corrupt("non-UTF-8 path".into()))?
-            .to_string();
-        match kind {
-            b'D' => {
-                if buf.remaining() < 2 {
-                    return Err(ImageError::Truncated);
+        self.offset += chunk.len() as u64;
+        let mut owned = std::mem::take(&mut self.pending);
+        let res = if owned.is_empty() {
+            self.process(chunk)
+        } else {
+            owned.extend_from_slice(chunk);
+            self.process(&owned)
+        };
+        match res {
+            Ok(consumed) => {
+                if owned.is_empty() {
+                    self.pending = chunk[consumed..].to_vec();
+                } else {
+                    owned.drain(..consumed);
+                    self.pending = owned;
                 }
-                let perm = buf.get_u16();
-                tree.mkdir(&p).map_err(|e| ImageError::Corrupt(e.to_string()))?;
-                tree.set_perm(&p, perm).expect("just created");
+                Ok(())
+            }
+            Err(e) => {
+                self.err = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    /// `(offset, last inode id)`: the resume checkpoint after the bytes
+    /// pushed so far.
+    pub fn checkpoint(&self) -> (u64, InodeId) {
+        (self.offset, self.last_id)
+    }
+
+    /// Pre-size internal tables for an image of `image_bytes` encoded
+    /// bytes (e.g. the total announced by the image transfer's metadata).
+    /// Purely an optimization — avoids rehash churn while millions of
+    /// entries stream in.
+    pub fn reserve_hint(&mut self, image_bytes: u64) {
+        // A v2 entry averages ~30 encoded bytes.
+        let entries = (image_bytes / 30) as usize;
+        self.ids.reserve(entries);
+        self.tree.reserve_inodes(entries);
+    }
+
+    /// Wire format version, once the header has been seen.
+    pub fn version(&self) -> Option<u16> {
+        self.header_done.then_some(self.version)
+    }
+
+    /// The checkpoint sn from the header, once seen.
+    pub fn checkpoint_sn(&self) -> Option<Sn> {
+        self.header_done.then_some(self.sn)
+    }
+
+    /// Verify the checksum and return the decoded tree and checkpoint sn.
+    pub fn finish(self) -> Result<(NamespaceTree, Sn), ImageError> {
+        if let Some(e) = self.err {
+            return Err(e);
+        }
+        if !self.header_done || self.pending.len() > TRAILER_LEN {
+            // Never saw a full header, or ended mid-entry.
+            return Err(ImageError::Truncated);
+        }
+        if self.pending.len() < TRAILER_LEN {
+            return Err(ImageError::Truncated);
+        }
+        let stored = u64::from_be_bytes(self.pending[..8].try_into().expect("8 bytes"));
+        if stored != self.hash.digest() {
+            return Err(ImageError::BadChecksum);
+        }
+        Ok((self.tree, self.sn))
+    }
+
+    /// Decode as much of `s` as possible; returns the consumed prefix
+    /// length. The final [`TRAILER_LEN`] bytes currently visible are never
+    /// consumed — they are the checksum candidate until more data proves
+    /// otherwise.
+    fn process(&mut self, s: &[u8]) -> Result<usize, ImageError> {
+        let mut pos = 0;
+        if !self.header_done {
+            if s.len() < HEADER_LEN + TRAILER_LEN {
+                return Ok(0);
+            }
+            let magic = u32::from_be_bytes(s[0..4].try_into().expect("4 bytes"));
+            if magic != MAGIC {
+                return Err(ImageError::BadMagic(magic));
+            }
+            let version = u16::from_be_bytes(s[4..6].try_into().expect("2 bytes"));
+            if version != VERSION_V1 && version != VERSION_V2 {
+                return Err(ImageError::BadVersion(version));
+            }
+            self.sn = u64::from_be_bytes(s[6..14].try_into().expect("8 bytes"));
+            let root_perm = u16::from_be_bytes(s[14..16].try_into().expect("2 bytes"));
+            self.tree.inodes.get_mut(&ROOT_ID).expect("root exists").set_perm(root_perm);
+            self.hash.write(&s[..HEADER_LEN]);
+            self.version = version;
+            self.header_done = true;
+            pos = HEADER_LEN;
+        }
+        while s.len() - pos > TRAILER_LEN {
+            let window = &s[pos..s.len() - TRAILER_LEN];
+            let step = if self.version == VERSION_V2 {
+                self.entry_v2(window)?
+            } else {
+                self.entry_v1(window)?
+            };
+            match step {
+                Some(n) => {
+                    self.hash.write(&window[..n]);
+                    pos += n;
+                }
+                None => break,
+            }
+        }
+        Ok(pos)
+    }
+
+    /// Try to decode one v2 entry from the front of `w`. `Ok(None)` means
+    /// the entry is not complete yet.
+    fn entry_v2(&mut self, w: &[u8]) -> Result<Option<usize>, ImageError> {
+        let Some(&kind) = w.first() else { return Ok(None) };
+        let mut pos = 1;
+        let parent = match peek_varint(&w[pos..]) {
+            Varint::Need => return Ok(None),
+            Varint::Bad => return Err(ImageError::Corrupt("malformed parent varint".into())),
+            Varint::Val(v, n) => {
+                pos += n;
+                v
+            }
+        };
+        let nlen = match peek_varint(&w[pos..]) {
+            Varint::Need => return Ok(None),
+            Varint::Bad => return Err(ImageError::Corrupt("malformed name length".into())),
+            Varint::Val(v, n) => {
+                pos += n;
+                v as usize
+            }
+        };
+        if w.len() < pos + nlen {
+            return Ok(None);
+        }
+        let name = std::str::from_utf8(&w[pos..pos + nlen])
+            .map_err(|_| ImageError::Corrupt("non-UTF-8 name".into()))?;
+        pos += nlen;
+        if name.is_empty() || name.contains('/') || name == "." || name == ".." {
+            return Err(ImageError::Corrupt(format!("invalid component name {name:?}")));
+        }
+        let parent_id = *self
+            .ids
+            .get(parent as usize)
+            .ok_or_else(|| ImageError::Corrupt(format!("parent index {parent} not yet seen")))?;
+        let inode = match kind {
+            b'D' => {
+                if w.len() < pos + 2 {
+                    return Ok(None);
+                }
+                let perm = u16::from_be_bytes(w[pos..pos + 2].try_into().expect("2 bytes"));
+                pos += 2;
+                Inode::Directory { children: BTreeMap::new(), perm }
             }
             b'F' => {
-                if buf.remaining() < 2 + 1 + 1 + 4 {
-                    return Err(ImageError::Truncated);
+                if w.len() < pos + 4 {
+                    return Ok(None);
                 }
-                let perm = buf.get_u16();
-                let replication = buf.get_u8();
-                let sealed = buf.get_u8() != 0;
-                let nblocks = buf.get_u32() as usize;
-                if buf.remaining() < nblocks * 8 {
-                    return Err(ImageError::Truncated);
-                }
-                tree.create(&p, replication).map_err(|e| ImageError::Corrupt(e.to_string()))?;
+                let perm = u16::from_be_bytes(w[pos..pos + 2].try_into().expect("2 bytes"));
+                let replication = w[pos + 2];
+                let sealed = w[pos + 3] != 0;
+                pos += 4;
+                let nblocks = match peek_varint(&w[pos..]) {
+                    Varint::Need => return Ok(None),
+                    Varint::Bad => return Err(ImageError::Corrupt("malformed block count".into())),
+                    Varint::Val(v, n) => {
+                        pos += n;
+                        v as usize
+                    }
+                };
+                let mut blocks = Vec::with_capacity(nblocks.min(1024));
                 for _ in 0..nblocks {
-                    let b = buf.get_u64();
-                    tree.add_block(&p, b).expect("just created");
+                    match peek_varint(&w[pos..]) {
+                        Varint::Need => return Ok(None),
+                        Varint::Bad => {
+                            return Err(ImageError::Corrupt("malformed block id".into()))
+                        }
+                        Varint::Val(v, n) => {
+                            pos += n;
+                            blocks.push(v);
+                        }
+                    }
+                }
+                Inode::File { blocks, replication, sealed, perm }
+            }
+            k => return Err(ImageError::Corrupt(format!("unknown entry kind {k}"))),
+        };
+        let id = self
+            .tree
+            .attach_child(parent_id, name, inode)
+            .map_err(|e| ImageError::Corrupt(e.to_string()))?;
+        self.ids.push(id);
+        self.last_id = id;
+        Ok(Some(pos))
+    }
+
+    /// Try to decode one legacy v1 full-path entry from the front of `w`.
+    /// Paths are decoded as borrowed slices — one interned-name allocation
+    /// inside the tree, no intermediate copies.
+    fn entry_v1(&mut self, w: &[u8]) -> Result<Option<usize>, ImageError> {
+        if w.len() < 5 {
+            return Ok(None);
+        }
+        let kind = w[0];
+        let plen = u32::from_be_bytes(w[1..5].try_into().expect("4 bytes")) as usize;
+        if w.len() < 5 + plen {
+            return Ok(None);
+        }
+        let p = std::str::from_utf8(&w[5..5 + plen])
+            .map_err(|_| ImageError::Corrupt("non-UTF-8 path".into()))?;
+        let mut pos = 5 + plen;
+        let corrupt = |e: crate::tree::NsError| ImageError::Corrupt(e.to_string());
+        match kind {
+            b'D' => {
+                if w.len() < pos + 2 {
+                    return Ok(None);
+                }
+                let perm = u16::from_be_bytes(w[pos..pos + 2].try_into().expect("2 bytes"));
+                pos += 2;
+                self.tree.mkdir(p).map_err(corrupt)?;
+                self.tree.set_perm(p, perm).map_err(corrupt)?;
+            }
+            b'F' => {
+                if w.len() < pos + 2 + 1 + 1 + 4 {
+                    return Ok(None);
+                }
+                let perm = u16::from_be_bytes(w[pos..pos + 2].try_into().expect("2 bytes"));
+                let replication = w[pos + 2];
+                let sealed = w[pos + 3] != 0;
+                let nblocks =
+                    u32::from_be_bytes(w[pos + 4..pos + 8].try_into().expect("4 bytes")) as usize;
+                pos += 8;
+                if w.len() < pos + nblocks * 8 {
+                    return Ok(None);
+                }
+                self.tree.create(p, replication).map_err(corrupt)?;
+                for _ in 0..nblocks {
+                    let b = u64::from_be_bytes(w[pos..pos + 8].try_into().expect("8 bytes"));
+                    pos += 8;
+                    self.tree.add_block(p, b).map_err(corrupt)?;
                 }
                 if sealed {
-                    tree.close_file(&p).expect("just created");
+                    self.tree.close_file(p).map_err(corrupt)?;
                 }
-                tree.set_perm(&p, perm).expect("just created");
+                self.tree.set_perm(p, perm).map_err(corrupt)?;
             }
             k => return Err(ImageError::Corrupt(format!("unknown entry kind {k}"))),
         }
+        if let Some(id) = self.tree.resolve_path(p) {
+            self.last_id = id;
+        }
+        Ok(Some(pos))
     }
-    Ok((tree, sn))
 }
 
-/// Estimated encoded image size (bytes) for a namespace with the given
+/// Decode a whole in-memory image (either version) back into a tree,
+/// verifying the checksum. Returns the tree and the checkpoint sn stored in
+/// the image. One pass over the bytes — this is the streaming decoder fed a
+/// single chunk.
+pub fn decode_image(data: Bytes) -> Result<(NamespaceTree, Sn), ImageError> {
+    let mut d = StreamingImageDecoder::new();
+    d.reserve_hint(data.len() as u64);
+    d.push(&data)?;
+    d.finish()
+}
+
+/// Estimated encoded v2 image size (bytes) for a namespace with the given
 /// shape, used to size experiments without materializing millions of
-/// inodes. Derived from the encoding: ~`path + 12` bytes per entry. The
-/// paper's calibration point — "more than 7 million files when the image
-/// size is about 1 GB" — corresponds to ~150 B/file with realistic paths.
-pub fn estimated_image_bytes(files: u64, dirs: u64, avg_path_len: u64) -> u64 {
-    16 + (files + dirs) * (avg_path_len + 12) + files * 28
+/// inodes. Derived from the v2 encoding: ~`name + 6` bytes per entry (kind,
+/// parent varint, name length, perm) plus ~11 bytes of file attributes and
+/// a short block list. Note the paper's calibration point — "more than 7
+/// million files when the image size is about 1 GB", i.e. ~150 B/file — is
+/// a property of HDFS's full-path-style records (our v1); the delta format
+/// stores the same namespace in roughly a third of that.
+pub fn estimated_image_bytes(files: u64, dirs: u64, avg_name_len: u64) -> u64 {
+    (HEADER_LEN + TRAILER_LEN) as u64 + (files + dirs) * (avg_name_len + 6) + files * 11
 }
 
 #[cfg(test)]
@@ -249,6 +736,7 @@ mod tests {
         assert_eq!(img.checkpoint_sn, 42);
         assert_eq!(img.files, 20);
         assert_eq!(img.dirs, 3);
+        assert_eq!(img.version(), Some(VERSION_V2));
         let (t2, sn) = decode_image(img.data.clone()).unwrap();
         assert_eq!(sn, 42);
         assert_eq!(t.fingerprint(), t2.fingerprint());
@@ -259,19 +747,110 @@ mod tests {
     }
 
     #[test]
-    fn corruption_detected() {
-        let img = encode_image(&sample_tree(), 1);
-        let mut bad = img.data.to_vec();
-        let mid = bad.len() / 2;
-        bad[mid] ^= 0x55;
-        assert_eq!(decode_image(Bytes::from(bad)).unwrap_err(), ImageError::BadChecksum);
+    fn v1_round_trip_still_decodes() {
+        let t = sample_tree();
+        let img = encode_image_v1(&t, 9);
+        assert_eq!(img.version(), Some(VERSION_V1));
+        let (t2, sn) = decode_image(img.data.clone()).unwrap();
+        assert_eq!(sn, 9);
+        assert_eq!(t.fingerprint(), t2.fingerprint());
+        assert!(t2.getfileinfo("/data/logs/f4").unwrap().sealed);
     }
 
     #[test]
-    fn truncation_detected() {
+    fn v1_and_v2_decodes_agree() {
+        let t = sample_tree();
+        let (a, _) = decode_image(encode_image_v1(&t, 5).data).unwrap();
+        let (b, _) = decode_image(encode_image(&t, 5).data).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.num_files(), b.num_files());
+        assert_eq!(a.num_dirs(), b.num_dirs());
+    }
+
+    #[test]
+    fn v2_is_smaller_than_v1() {
+        let t = sample_tree();
+        let v1 = encode_image_v1(&t, 1).size_bytes();
+        let v2 = encode_image(&t, 1).size_bytes();
+        assert!(v2 < v1, "v2 {v2} B must be smaller than v1 {v1} B");
+    }
+
+    #[test]
+    fn corruption_detected_at_every_byte() {
+        for img in [encode_image(&sample_tree(), 1), encode_image_v1(&sample_tree(), 1)] {
+            for i in 0..img.data.len() {
+                let mut bad = img.data.to_vec();
+                bad[i] ^= 0x55;
+                assert!(
+                    decode_image(Bytes::from(bad)).is_err(),
+                    "flip at byte {i}/{} must not decode",
+                    img.data.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_detected_at_every_cut_point() {
+        for img in [encode_image(&sample_tree(), 1), encode_image_v1(&sample_tree(), 1)] {
+            for cut in 0..img.data.len() {
+                let prefix = img.data.slice(..cut);
+                assert!(decode_image(prefix.clone()).is_err(), "cut at {cut} must not decode");
+                // Streaming path: same prefix, any boundary, then finish.
+                let mut d = StreamingImageDecoder::new();
+                let ok = d.push(&prefix).is_ok();
+                assert!(!ok || d.finish().is_err(), "streaming cut at {cut} must not finish");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_matches_buffered_at_every_boundary() {
+        let t = sample_tree();
+        let img = encode_image(&t, 77);
+        let (buffered, sn) = decode_image(img.data.clone()).unwrap();
+        let reencoded = encode_image(&buffered, sn).data;
+        for cut in 0..=img.data.len() {
+            let mut d = StreamingImageDecoder::new();
+            d.push(&img.data[..cut]).unwrap();
+            let (off, _) = d.checkpoint();
+            assert_eq!(off, cut as u64);
+            d.push(&img.data[cut..]).unwrap();
+            let (t2, sn2) = d.finish().unwrap();
+            assert_eq!(sn2, 77);
+            assert_eq!(t2.fingerprint(), buffered.fingerprint(), "split at {cut}");
+            // Byte-identical result: re-encoding the resumed decode equals
+            // re-encoding the buffered decode.
+            assert_eq!(encode_image(&t2, sn).data, reencoded, "split at {cut}");
+        }
+    }
+
+    #[test]
+    fn streaming_decodes_v1_in_small_chunks() {
+        let t = sample_tree();
+        let img = encode_image_v1(&t, 3);
+        for chunk in [1usize, 3, 7, 64] {
+            let mut d = StreamingImageDecoder::new();
+            for c in img.data.chunks(chunk) {
+                d.push(c).unwrap();
+            }
+            assert_eq!(d.version(), Some(VERSION_V1));
+            let (t2, sn) = d.finish().unwrap();
+            assert_eq!(sn, 3);
+            assert_eq!(t2.fingerprint(), t.fingerprint(), "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn decoder_error_is_sticky() {
         let img = encode_image(&sample_tree(), 1);
-        let cut = img.data.slice(..img.data.len() / 3);
-        assert!(decode_image(cut).is_err());
+        let mut bad = img.data.to_vec();
+        bad[HEADER_LEN] = b'Z'; // first entry kind
+        let mut d = StreamingImageDecoder::new();
+        let err = d.push(&bad).unwrap_err();
+        assert!(matches!(err, ImageError::Corrupt(_)));
+        assert_eq!(d.push(b"more").unwrap_err(), err);
+        assert_eq!(d.finish().unwrap_err(), err);
     }
 
     #[test]
@@ -294,6 +873,16 @@ mod tests {
     }
 
     #[test]
+    fn chunk_survives_u64_overflow_offsets() {
+        let img = encode_image(&sample_tree(), 1);
+        // Regression: `offset + len` used to overflow u64 and panic.
+        assert!(img.chunk(u64::MAX, 10).is_empty());
+        assert!(img.chunk(u64::MAX, u64::MAX).is_empty());
+        let tail = img.chunk(1, u64::MAX);
+        assert_eq!(tail.len(), img.data.len() - 1);
+    }
+
+    #[test]
     fn empty_tree_round_trips() {
         let t = NamespaceTree::new();
         let img = encode_image(&t, 0);
@@ -303,18 +892,52 @@ mod tests {
     }
 
     #[test]
-    fn estimator_is_in_papers_ballpark() {
-        // ~7M files / ~1 GB from the paper (Section IV-B).
-        let est = estimated_image_bytes(7_000_000, 700_000, 100);
-        let gb = est as f64 / (1024.0 * 1024.0 * 1024.0);
-        assert!((0.5..2.0).contains(&gb), "estimated {gb:.2} GB");
+    fn fnv1a64_matches_reference_vectors() {
+        // Fixed vectors under the repo-wide hash constants (the same
+        // offset/prime as journal record checksums and tree fingerprints).
+        // Pinning these guarantees the word-unrolled rewrite produces
+        // byte-identical digests to the pre-v2 byte-wise implementation,
+        // so old images still pass checksum verification.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xb084_984c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x2a2a_5471_f739_67e8);
+        // The word-unrolled bulk loop agrees with the byte-wise definition
+        // on lengths around the 8-byte boundary.
+        let data: Vec<u8> = (0u16..257).map(|i| (i % 251) as u8).collect();
+        for len in 0..data.len() {
+            let byte_wise = data[..len].iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &b| {
+                (h ^ b as u64).wrapping_mul(0x1_0000_0000_01b3)
+            });
+            assert_eq!(fnv1a64(&data[..len]), byte_wise, "len {len}");
+        }
+    }
+
+    #[test]
+    fn fnv1a64_is_split_invariant() {
+        let data: Vec<u8> = (0u16..100).map(|i| i as u8).collect();
+        let whole = fnv1a64(&data);
+        for split in 0..=data.len() {
+            let mut f = Fnv1a64::new();
+            f.write(&data[..split]);
+            f.write(&data[split..]);
+            assert_eq!(f.digest(), whole, "split {split}");
+        }
+    }
+
+    #[test]
+    fn estimator_reflects_v2_compaction() {
+        // The paper's 7M-file namespace needs ~1 GB as full-path records;
+        // the v2 delta format holds it in a few hundred MB.
+        let est = estimated_image_bytes(7_000_000, 700_000, 16);
+        let mb = est as f64 / (1024.0 * 1024.0);
+        assert!((150.0..500.0).contains(&mb), "estimated {mb:.0} MB");
     }
 
     #[test]
     fn encoded_size_tracks_estimate_roughly() {
         let t = sample_tree();
         let img = encode_image(&t, 1);
-        let est = estimated_image_bytes(t.num_files(), t.num_dirs(), 16);
+        let est = estimated_image_bytes(t.num_files(), t.num_dirs(), 3);
         let ratio = img.size_bytes() as f64 / est as f64;
         assert!((0.3..3.0).contains(&ratio), "ratio {ratio}");
     }

@@ -20,7 +20,10 @@ pub mod path;
 pub mod tree;
 
 pub use blocks::{BlockInfo, BlockMap};
-pub use image::{decode_image, encode_image, ImageError, NamespaceImage};
+pub use image::{
+    decode_image, encode_image, encode_image_v1, estimated_image_bytes, ImageError, NamespaceImage,
+    StreamingImageDecoder, VERSION_V1, VERSION_V2,
+};
 pub use inode::{FileInfo, Inode, InodeId};
 pub use partition::Partitioner;
 pub use tree::{NamespaceTree, NsError};

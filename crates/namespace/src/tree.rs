@@ -150,6 +150,58 @@ impl NamespaceTree {
         n
     }
 
+    /// Attach a fully-formed inode directly under `parent` with the given
+    /// component name — the image decoder's single-pass path: no from-root
+    /// resolution, no path strings. The caller guarantees `name` is a valid
+    /// component; duplicate names and non-directory parents are rejected
+    /// (they indicate a corrupt image).
+    pub(crate) fn attach_child(
+        &mut self,
+        parent: InodeId,
+        name: &str,
+        inode: Inode,
+    ) -> Result<InodeId, NsError> {
+        match self.inodes.get(&parent) {
+            Some(Inode::Directory { .. }) => {}
+            Some(Inode::File { .. }) => return Err(NsError::ParentNotDirectory(name.to_string())),
+            None => return Err(NsError::ParentNotFound(name.to_string())),
+        }
+        let is_dir = inode.is_dir();
+        let name = self.intern(name);
+        let id = self.alloc(inode);
+        let duplicate = match self.inodes.get_mut(&parent).expect("parent checked above") {
+            Inode::Directory { children, .. } => {
+                // Single tree search via the entry API (this is the image
+                // decoder's per-entry hot path).
+                match children.entry(name) {
+                    std::collections::btree_map::Entry::Vacant(v) => {
+                        v.insert(id);
+                        None
+                    }
+                    std::collections::btree_map::Entry::Occupied(o) => Some(o.key().to_string()),
+                }
+            }
+            Inode::File { .. } => unreachable!("parent kind checked above"),
+        };
+        if let Some(name) = duplicate {
+            self.inodes.remove(&id);
+            return Err(NsError::AlreadyExists(name));
+        }
+        if is_dir {
+            self.num_dirs += 1;
+        } else {
+            self.num_files += 1;
+        }
+        Ok(id)
+    }
+
+    /// Pre-size the inode table for `extra` upcoming inserts (the image
+    /// decoder calls this with an estimate from the announced transfer
+    /// size, avoiding repeated rehashing while millions of entries load).
+    pub(crate) fn reserve_inodes(&mut self, extra: usize) {
+        self.inodes.reserve(extra);
+    }
+
     /// Record that the directory at `p` has inode `id` (mutation paths call
     /// this after a successful resolve, warming the cache for the reads).
     fn cache_dir(&mut self, p: &str, id: InodeId) {

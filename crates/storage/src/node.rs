@@ -258,6 +258,65 @@ mod tests {
         }
     }
 
+    /// Pull a pool-stored image through `ReadImageChunk` exactly as a
+    /// renewing junior does, feeding each chunk to the streaming decoder.
+    fn stream_image_from_pool(
+        n: &mut PoolNode,
+        chunk_len: u64,
+    ) -> (mams_namespace::NamespaceTree, u64) {
+        let mut d = mams_namespace::StreamingImageDecoder::new();
+        let mut offset = 0u64;
+        loop {
+            let (resp, _) =
+                n.serve(PoolReq::ReadImageChunk { group: 0, offset, len: chunk_len, req: 7 });
+            let (data, total) = match resp {
+                PoolResp::ImageChunk { data, total, .. } => (data, total),
+                other => panic!("unexpected {other:?}"),
+            };
+            d.push(&data).unwrap();
+            offset += data.len() as u64;
+            assert_eq!(d.checkpoint().0, offset);
+            if offset >= total || data.is_empty() {
+                break;
+            }
+        }
+        d.finish().unwrap()
+    }
+
+    #[test]
+    fn pool_images_are_v2_and_stream_decode() {
+        let pool = new_shared_pool();
+        let mut t = mams_namespace::NamespaceTree::new();
+        t.mkdir_p("/a/b").unwrap();
+        for i in 0..50 {
+            t.create(&format!("/a/b/f{i}"), 3).unwrap();
+        }
+        let img = mams_namespace::encode_image(&t, 5);
+        assert_eq!(img.version(), Some(mams_namespace::VERSION_V2));
+        pool.lock().group_mut(0).write_image(1, img).unwrap();
+        let mut n = PoolNode::new(pool);
+        let (t2, sn) = stream_image_from_pool(&mut n, 64);
+        assert_eq!(sn, 5);
+        assert_eq!(t2.fingerprint(), t.fingerprint());
+    }
+
+    #[test]
+    fn legacy_v1_pool_images_still_stream_decode() {
+        // An image written before the v2 cutover sits in the pool across
+        // the upgrade; a new junior must still restore from it.
+        let pool = new_shared_pool();
+        let mut t = mams_namespace::NamespaceTree::new();
+        t.mkdir_p("/legacy/dir").unwrap();
+        t.create("/legacy/dir/f", 2).unwrap();
+        let img = mams_namespace::encode_image_v1(&t, 9);
+        assert_eq!(img.version(), Some(mams_namespace::VERSION_V1));
+        pool.lock().group_mut(0).write_image(1, img).unwrap();
+        let mut n = PoolNode::new(pool);
+        let (t2, sn) = stream_image_from_pool(&mut n, 16);
+        assert_eq!(sn, 9);
+        assert_eq!(t2.fingerprint(), t.fingerprint());
+    }
+
     #[test]
     fn missing_image_is_an_error_not_a_panic() {
         let pool = new_shared_pool();
