@@ -18,7 +18,7 @@ use mams_storage::pool::new_shared_pool;
 use mams_storage::proto::{PoolReq, PoolResp};
 use mams_storage::{DiskModel, PoolNode};
 
-use crate::common::{exec_op, reply, RetryCache, SavedCheckpoint};
+use crate::common::{exec_op, reply, RetryCache, SavedCheckpoint, StandbyReplayer};
 
 const T_FLUSH: u64 = 1;
 const T_TAIL: u64 = 2;
@@ -70,6 +70,7 @@ pub struct AvatarNode {
     next_block: u64,
     retry: RetryCache,
     cursor: ReplayCursor,
+    replayer: StandbyReplayer,
     next_sn: Sn,
     pending: Vec<crate::common::PendingReply>,
     pending_txns: Vec<mams_journal::Txn>,
@@ -93,6 +94,7 @@ impl AvatarNode {
             next_block: 1,
             retry: RetryCache::new(),
             cursor: ReplayCursor::new(),
+            replayer: StandbyReplayer::new(),
             next_sn: 1,
             pending: Vec::new(),
             pending_txns: Vec::new(),
@@ -146,13 +148,7 @@ impl AvatarNode {
 
     fn apply_tail(&mut self, batches: Vec<mams_journal::SharedBatch>) {
         for b in batches {
-            let mut sink = |_: u64, t: &mams_journal::Txn| {
-                let _ = self.ns.apply(t);
-                if let mams_journal::Txn::AddBlock { block_id, .. } = t {
-                    self.next_block = self.next_block.max(*block_id + 1);
-                }
-            };
-            self.cursor.offer(&b, &mut sink);
+            self.replayer.offer(&mut self.cursor, &mut self.ns, &mut self.next_block, &b);
         }
         self.next_sn = self.cursor.max_sn() + 1;
     }
@@ -220,6 +216,9 @@ impl Node for AvatarNode {
                     }
                     Err(e) => ctx.trace("avatar.image_corrupt", || e.to_string()),
                 }
+                // The namespace was just replaced (and will now be mutated
+                // outside replay): drop the session's cached handles.
+                self.replayer.reset();
                 self.role = AvRole::Active;
                 let me = ctx.id();
                 self.coord.set(ctx, mams_core::keys::active(0), me.to_string(), true);

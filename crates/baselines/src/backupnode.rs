@@ -16,7 +16,7 @@ use mams_journal::{JournalBatch, ReplayCursor, Sn};
 use mams_namespace::NamespaceTree;
 use mams_sim::{Ctx, Duration, Message, Node, NodeId, Sim};
 
-use crate::common::{exec_op, reply, FsScale, RetryCache, SavedCheckpoint};
+use crate::common::{exec_op, reply, FsScale, RetryCache, SavedCheckpoint, StandbyReplayer};
 use mams_storage::DiskModel;
 
 const T_FLUSH: u64 = 1;
@@ -82,6 +82,7 @@ pub struct BnNode {
     next_block: u64,
     retry: RetryCache,
     cursor: ReplayCursor,
+    replayer: StandbyReplayer,
     next_sn: Sn,
     pending: Vec<crate::common::PendingReply>,
     pending_txns: Vec<mams_journal::Txn>,
@@ -104,6 +105,7 @@ impl BnNode {
             next_block: 1,
             retry: RetryCache::new(),
             cursor: ReplayCursor::new(),
+            replayer: StandbyReplayer::new(),
             next_sn: 1,
             pending: Vec::new(),
             pending_txns: Vec::new(),
@@ -162,6 +164,9 @@ impl BnNode {
             }
             Err(e) => ctx.trace("bn.image_corrupt", || e.to_string()),
         }
+        // The namespace was just replaced (and the new primary mutates it
+        // outside replay): drop the session's cached handles.
+        self.replayer.reset();
         let files = self.ns.num_files().max(self.spec.scale.nominal_files);
         let recollect = Duration::from_micros(files * RECOLLECT_PER_FILE.micros()) + image_io;
         ctx.trace("bn.takeover_start", || {
@@ -264,13 +269,12 @@ impl Node for BnNode {
         let msg = match msg.downcast::<BnMsg>() {
             Ok(BnMsg::Stream { batch }) => {
                 if self.role == BnRole::Backup {
-                    let mut sink = |_: u64, t: &mams_journal::Txn| {
-                        let _ = self.ns.apply(t);
-                        if let mams_journal::Txn::AddBlock { block_id, .. } = t {
-                            self.next_block = self.next_block.max(*block_id + 1);
-                        }
-                    };
-                    self.cursor.offer(&batch, &mut sink);
+                    self.replayer.offer(
+                        &mut self.cursor,
+                        &mut self.ns,
+                        &mut self.next_block,
+                        &batch,
+                    );
                     self.next_sn = self.cursor.max_sn() + 1;
                 }
                 return;

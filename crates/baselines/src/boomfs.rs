@@ -136,7 +136,7 @@ impl BoomFsServer {
     }
 
     fn reply(&mut self, ctx: &mut Ctx<'_>, to: NodeId, seq: u64, result: Result<OpOutput, String>) {
-        let resp = MdsResp::Reply { seq, result };
+        let resp = std::sync::Arc::new(MdsResp::Reply { seq, result });
         self.retry.store(to, seq, resp.clone());
         ctx.send(to, resp);
     }

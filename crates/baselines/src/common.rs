@@ -2,8 +2,8 @@
 //! reply caching, and the scale model.
 
 use mams_core::{FsOp, MdsResp, OpOutput};
-use mams_journal::{Sn, Txn};
-use mams_namespace::{ImageError, NamespaceImage, NamespaceTree};
+use mams_journal::{JournalBatch, ReplayCursor, Sn, Txn};
+use mams_namespace::{ImageError, NamespaceImage, NamespaceTree, ReplaySession};
 use mams_sim::{Ctx, NodeId};
 
 /// File-system scale for experiments that cannot materialize millions of
@@ -115,6 +115,46 @@ pub fn exec_op(
     }
 }
 
+/// Journal replay for a baseline standby: the same validate-skip
+/// [`ReplaySession`] fast path the MAMS standby uses, plus the block-id
+/// high-water mark every namenode keeps alongside its namespace — so
+/// replay-throughput comparisons across systems measure protocol
+/// differences, not apply-loop differences.
+#[derive(Debug, Default)]
+pub struct StandbyReplayer {
+    session: ReplaySession,
+}
+
+impl StandbyReplayer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drop the cached handles. Call after the namespace is replaced or
+    /// mutated outside replay (checkpoint reload, a stint as primary).
+    pub fn reset(&mut self) {
+        self.session.reset();
+    }
+
+    /// Offer one batch to `cursor`, applying the in-order records through
+    /// the fast path and advancing the block-id high-water mark.
+    pub fn offer(
+        &mut self,
+        cursor: &mut ReplayCursor,
+        ns: &mut NamespaceTree,
+        next_block: &mut u64,
+        batch: &JournalBatch,
+    ) {
+        let session = &mut self.session;
+        cursor.offer(batch, &mut |_, t: &Txn| {
+            let _ = session.apply(ns, t);
+            if let Txn::AddBlock { block_id, .. } = t {
+                *next_block = (*next_block).max(*block_id + 1);
+            }
+        });
+    }
+}
+
 /// Re-exported duplicate-suppression cache (same type MAMS uses, so every
 /// system handles retried requests identically).
 pub use mams_core::retry::RetryCache;
@@ -122,7 +162,8 @@ pub use mams_core::retry::RetryCache;
 /// A client reply waiting on durability: `(client, seq, result)`.
 pub type PendingReply = (NodeId, u64, Result<OpOutput, String>);
 
-/// Reply to a client, updating the retry cache.
+/// Reply to a client, updating the retry cache. The response is built
+/// behind `Arc` once; the cache entry and the wire message share it.
 pub fn reply(
     cache: &mut RetryCache,
     ctx: &mut Ctx<'_>,
@@ -130,7 +171,7 @@ pub fn reply(
     seq: u64,
     result: Result<OpOutput, String>,
 ) {
-    let resp = MdsResp::Reply { seq, result };
+    let resp = std::sync::Arc::new(MdsResp::Reply { seq, result });
     cache.store(to, seq, resp.clone());
     ctx.send(to, resp);
 }

@@ -20,7 +20,7 @@ use mams_storage::pool::new_shared_pool;
 use mams_storage::proto::{PoolReq, PoolResp};
 use mams_storage::{DiskModel, PoolNode};
 
-use crate::common::{exec_op, reply, RetryCache};
+use crate::common::{exec_op, reply, RetryCache, StandbyReplayer};
 
 const T_FLUSH: u64 = 1;
 const T_TAIL: u64 = 2;
@@ -75,6 +75,7 @@ pub struct HaNameNode {
     next_block: u64,
     retry: RetryCache,
     cursor: ReplayCursor,
+    replayer: StandbyReplayer,
     next_sn: Sn,
     epoch: u64,
     pending: Vec<crate::common::PendingReply>,
@@ -100,6 +101,7 @@ impl HaNameNode {
             next_block: 1,
             retry: RetryCache::new(),
             cursor: ReplayCursor::new(),
+            replayer: StandbyReplayer::new(),
             next_sn: 1,
             epoch: 1,
             pending: Vec::new(),
@@ -159,13 +161,7 @@ impl HaNameNode {
 
     fn apply_tail(&mut self, batches: Vec<mams_journal::SharedBatch>) {
         for b in batches {
-            let mut sink = |_: u64, t: &mams_journal::Txn| {
-                let _ = self.ns.apply(t);
-                if let mams_journal::Txn::AddBlock { block_id, .. } = t {
-                    self.next_block = self.next_block.max(*block_id + 1);
-                }
-            };
-            self.cursor.offer(&b, &mut sink);
+            self.replayer.offer(&mut self.cursor, &mut self.ns, &mut self.next_block, &b);
         }
         self.next_sn = self.cursor.max_sn() + 1;
     }
@@ -230,6 +226,8 @@ impl Node for HaNameNode {
             }
             T_TRANSITION_DONE if self.role == HaRole::Transitioning => {
                 self.role = HaRole::Active;
+                // From here the namespace is mutated outside replay.
+                self.replayer.reset();
                 let me = ctx.id();
                 self.coord.set(ctx, mams_core::keys::active(0), me.to_string(), true);
                 ctx.trace("ha.transition_done", String::new);

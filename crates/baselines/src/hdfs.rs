@@ -3,7 +3,7 @@
 //! system is down, which is exactly the paper's motivation).
 
 use mams_coord::{CoordClient, Incoming};
-use mams_core::{CpuModel, Ingress, MdsReq, MdsResp};
+use mams_core::{CpuModel, Ingress, MdsReq};
 use mams_namespace::NamespaceTree;
 use mams_sim::{Ctx, Duration, Message, Node, NodeId, Sim};
 
@@ -79,11 +79,7 @@ impl HdfsNameNode {
                     reply(&mut self.retry, ctx, from, seq, Ok(out));
                 }
             }
-            Err(e) => {
-                let resp = MdsResp::Reply { seq, result: Err(e) };
-                self.retry.store(from, seq, resp.clone());
-                ctx.send(from, resp);
-            }
+            Err(e) => reply(&mut self.retry, ctx, from, seq, Err(e)),
         }
     }
 

@@ -1,0 +1,245 @@
+//! Wall-clock journal-replay benchmark: the apply loop that bounds both a
+//! standby's steady-state lag and a junior's catch-up time (Section III-D;
+//! MTTR in Table I is dominated by how fast the journal can be replayed).
+//!
+//! A fixed-seed generator produces a directory-local mutation stream —
+//! creates, block allocations and closes walking leaf directories in order,
+//! with occasional renames and deletes — executed once against a scratch
+//! tree so every journaled record is valid, exactly like the active's
+//! execution path. The stream is then sealed into 64-record batches and
+//! replayed two ways:
+//!
+//! - **live**: batches already decoded (the standby's `SyncJournal` path);
+//!   naive per-record `NamespaceTree::apply` vs the `ReplaySession` fast
+//!   path (validate-skip + cached parent handle).
+//! - **cold**: wire bytes → decode + apply (the junior's catch-up path);
+//!   v1 wire + naive apply vs v2 wire + `ReplaySession`.
+//!
+//! Results go to `BENCH_replay.json` at the repo root so successive PRs can
+//! track the perf trajectory.
+//!
+//! Run from the repo root: `cargo run --release --bin bench_replay`
+//! (`--quick` shrinks the stream and reps — the CI smoke).
+
+use std::time::Instant;
+
+use bytes::Bytes;
+use mams_journal::{decode_batch, encode_batch, encode_batch_v1, JournalBatch, Txn};
+use mams_namespace::{NamespaceTree, ReplaySession};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const SEED: u64 = 0x4d41_4d53; // "MAMS"
+const BATCH_OPS: usize = 64;
+const FILES_PER_DIR: u64 = 128;
+
+/// The directory skeleton both the generator and every replay rep start
+/// from (a junior begins at the same checkpoint the stream was cut from).
+fn base_tree(leaf_dirs: u64) -> (NamespaceTree, Vec<String>) {
+    let mut t = NamespaceTree::new();
+    let mut dirs = Vec::new();
+    let tops = ((leaf_dirs as f64).sqrt().ceil() as u64).max(1);
+    let subs = leaf_dirs.div_ceil(tops);
+    for d in 0..tops {
+        let top = format!("/project{d:04}");
+        t.mkdir(&top).unwrap();
+        for s in 0..subs {
+            let dir = format!("{top}/dataset{s:04}");
+            t.mkdir(&dir).unwrap();
+            dirs.push(dir);
+            if dirs.len() as u64 >= leaf_dirs {
+                return (t, dirs);
+            }
+        }
+    }
+    (t, dirs)
+}
+
+/// Execute a directory-local mutation stream against `tree`, returning the
+/// journaled records: per leaf dir, create/add-block/close a run of files,
+/// with a rename and a delete sprinkled in to exercise cache invalidation.
+fn generate_stream(tree: &mut NamespaceTree, dirs: &[String], rng: &mut SmallRng) -> Vec<Txn> {
+    let mut txns = Vec::new();
+    let mut block = 1u64;
+    let journal = |tree: &mut NamespaceTree, txns: &mut Vec<Txn>, txn: Txn| {
+        tree.apply(&txn).unwrap();
+        txns.push(txn);
+    };
+    for dir in dirs {
+        for f in 0..FILES_PER_DIR {
+            let path = format!("{dir}/part-{f:05}.data");
+            journal(tree, &mut txns, Txn::Create { path: path.clone(), replication: 3 });
+            for _ in 0..rng.gen_range(0u32..3) {
+                journal(
+                    tree,
+                    &mut txns,
+                    Txn::AddBlock { path: path.clone(), block_id: block, len: 1 << 20 },
+                );
+                block += 1;
+            }
+            journal(tree, &mut txns, Txn::CloseFile { path: path.clone() });
+            if f % 50 == 17 {
+                let dst = format!("{dir}/renamed-{f:05}.data");
+                journal(tree, &mut txns, Txn::Rename { src: path, dst });
+            } else if f % 70 == 23 {
+                journal(tree, &mut txns, Txn::Delete { path, recursive: false });
+            }
+        }
+    }
+    txns
+}
+
+/// Seal the stream into `⟨sn, txid⟩` batches of `BATCH_OPS` records.
+fn seal_batches(txns: &[Txn]) -> Vec<JournalBatch> {
+    let mut batches = Vec::new();
+    let mut txid = 1u64;
+    for (i, chunk) in txns.chunks(BATCH_OPS).enumerate() {
+        batches.push(JournalBatch::new(i as u64 + 1, txid, chunk.to_vec()));
+        txid += chunk.len() as u64;
+    }
+    batches
+}
+
+/// Best-of-`reps` wall time in seconds; `setup` runs outside the clock.
+fn best_of<S, T>(reps: usize, mut setup: impl FnMut() -> S, mut f: impl FnMut(S) -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let s = setup();
+        let start = Instant::now();
+        std::hint::black_box(f(s));
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (leaf_dirs, reps) = if quick { (64u64, 2usize) } else { (1024, 5) };
+
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let (mut scratch, dirs) = base_tree(leaf_dirs);
+    let txns = generate_stream(&mut scratch, &dirs, &mut rng);
+    let expected_fp = scratch.fingerprint();
+    let batches = seal_batches(&txns);
+    let records = txns.len() as u64;
+
+    let v1_wire: Vec<Bytes> = batches.iter().map(encode_batch_v1).collect();
+    let v2_wire: Vec<Bytes> = batches.iter().map(encode_batch).collect();
+    let v1_bytes: u64 = v1_wire.iter().map(|b| b.len() as u64).sum();
+    let v2_bytes: u64 = v2_wire.iter().map(|b| b.len() as u64).sum();
+
+    // Every replay path must land on the generator's namespace.
+    let check = |tree: &NamespaceTree, what: &str| {
+        assert_eq!(tree.fingerprint(), expected_fp, "replay divergence in {what}");
+    };
+
+    // Live standby: batches are already decoded, only the apply loop runs.
+    let live_naive_s = best_of(
+        reps,
+        || base_tree(leaf_dirs).0,
+        |mut tree| {
+            for b in &batches {
+                for (_, t) in b.entries() {
+                    tree.apply(t).unwrap();
+                }
+            }
+            check(&tree, "live naive");
+            tree
+        },
+    );
+    let live_session_s = best_of(
+        reps,
+        || base_tree(leaf_dirs).0,
+        |mut tree| {
+            let mut session = ReplaySession::new();
+            for b in &batches {
+                for (_, t) in b.entries() {
+                    session.apply(&mut tree, t).unwrap();
+                }
+            }
+            check(&tree, "live session");
+            tree
+        },
+    );
+
+    // Cold junior catch-up: wire bytes → decode + apply.
+    let cold_v1_naive_s = best_of(
+        reps,
+        || base_tree(leaf_dirs).0,
+        |mut tree| {
+            for w in &v1_wire {
+                let b = decode_batch(w.clone()).unwrap();
+                for (_, t) in b.entries() {
+                    tree.apply(t).unwrap();
+                }
+            }
+            check(&tree, "cold v1 naive");
+            tree
+        },
+    );
+    let cold_v2_session_s = best_of(
+        reps,
+        || base_tree(leaf_dirs).0,
+        |mut tree| {
+            let mut session = ReplaySession::new();
+            for w in &v2_wire {
+                let b = decode_batch(w.clone()).unwrap();
+                for (_, t) in b.entries() {
+                    session.apply(&mut tree, t).unwrap();
+                }
+            }
+            check(&tree, "cold v2 session");
+            tree
+        },
+    );
+
+    let rate = |s: f64| records as f64 / s;
+    println!(
+        "{records} records in {} batches | wire v1 {} KB, v2 {} KB ({:.2}x smaller)",
+        batches.len(),
+        v1_bytes >> 10,
+        v2_bytes >> 10,
+        v1_bytes as f64 / v2_bytes as f64,
+    );
+    println!(
+        "live:  naive {:.0} rec/s, session {:.0} rec/s ({:.2}x)",
+        rate(live_naive_s),
+        rate(live_session_s),
+        live_naive_s / live_session_s,
+    );
+    println!(
+        "cold:  v1+naive {:.0} rec/s, v2+session {:.0} rec/s ({:.2}x)",
+        rate(cold_v1_naive_s),
+        rate(cold_v2_session_s),
+        cold_v1_naive_s / cold_v2_session_s,
+    );
+
+    // Hand-rolled JSON: the offline serde_json stand-in cannot serialize,
+    // and this document is the repo's perf trajectory — it must hold real
+    // numbers in every environment.
+    let doc = format!(
+        "{{\n  \"bench\": \"replay\",\n  \"seed\": {SEED},\n  \"reps\": {reps},\n  \
+         \"records\": {records},\n  \"batches\": {},\n  \"batch_ops\": {BATCH_OPS},\n  \
+         \"wire_v1_bytes\": {v1_bytes},\n  \"wire_v2_bytes\": {v2_bytes},\n  \
+         \"wire_ratio_v1_over_v2\": {:.3},\n  \
+         \"live_naive_s\": {live_naive_s:.6},\n  \"live_session_s\": {live_session_s:.6},\n  \
+         \"live_naive_records_per_s\": {:.0},\n  \"live_session_records_per_s\": {:.0},\n  \
+         \"live_speedup_session\": {:.3},\n  \
+         \"cold_v1_naive_s\": {cold_v1_naive_s:.6},\n  \
+         \"cold_v2_session_s\": {cold_v2_session_s:.6},\n  \
+         \"cold_v1_naive_records_per_s\": {:.0},\n  \
+         \"cold_v2_session_records_per_s\": {:.0},\n  \
+         \"cold_speedup_v2_session\": {:.3}\n}}\n",
+        batches.len(),
+        v1_bytes as f64 / v2_bytes as f64,
+        rate(live_naive_s),
+        rate(live_session_s),
+        live_naive_s / live_session_s,
+        rate(cold_v1_naive_s),
+        rate(cold_v2_session_s),
+        cold_v1_naive_s / cold_v2_session_s,
+    );
+    let out = "BENCH_replay.json";
+    std::fs::write(out, doc).expect("write BENCH_replay.json");
+    println!("saved {out}");
+}

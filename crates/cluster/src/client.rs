@@ -197,7 +197,7 @@ impl Node for FsClient {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, msg: Message) {
-        let msg = match msg.downcast::<MdsResp>() {
+        let msg = match MdsResp::from_message(msg) {
             Ok(resp) => {
                 match resp {
                     MdsResp::Reply { seq, result } => {

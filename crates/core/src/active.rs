@@ -53,7 +53,7 @@ impl MdsServer {
         }
         if !op.is_mutation() {
             let result = self.exec_read(&op);
-            let resp = MdsResp::Reply { seq, result };
+            let resp = std::sync::Arc::new(MdsResp::Reply { seq, result });
             self.retry_cache.store(from, seq, resp.clone());
             ctx.send(from, resp);
             return;
@@ -75,58 +75,51 @@ impl MdsServer {
 
     /// Validate + apply a mutation against our namespace, producing the
     /// journal record. Errors are replied immediately and never journaled.
-    fn exec_mutation(&mut self, op: &FsOp) -> Result<(Txn, OpOutput), String> {
+    /// Consumes the op so its paths move into the record instead of being
+    /// cloned — on a create/rename-heavy mix the journal's strings are
+    /// allocated exactly once, at request decode.
+    fn exec_mutation(&mut self, op: FsOp) -> Result<(Txn, OpOutput), String> {
         match op {
             FsOp::Create { path, replication } => self
                 .ns
-                .create(path, *replication)
-                .map(|info| {
-                    (
-                        Txn::Create { path: path.clone(), replication: *replication },
-                        OpOutput::Info(info),
-                    )
-                })
+                .create(&path, replication)
+                .map(|info| (Txn::Create { path, replication }, OpOutput::Info(info)))
                 .map_err(|e| e.to_string()),
             FsOp::Mkdir { path } => self
                 .ns
-                .mkdir(path)
-                .map(|()| (Txn::Mkdir { path: path.clone() }, OpOutput::Done))
+                .mkdir(&path)
+                .map(|()| (Txn::Mkdir { path }, OpOutput::Done))
                 .map_err(|e| e.to_string()),
             FsOp::Delete { path, recursive } => self
                 .ns
-                .delete(path, *recursive)
-                .map(|_| {
-                    (Txn::Delete { path: path.clone(), recursive: *recursive }, OpOutput::Done)
-                })
+                .delete(&path, recursive)
+                .map(|_| (Txn::Delete { path, recursive }, OpOutput::Done))
                 .map_err(|e| e.to_string()),
             FsOp::Rename { src, dst } => self
                 .ns
-                .rename(src, dst)
-                .map(|()| (Txn::Rename { src: src.clone(), dst: dst.clone() }, OpOutput::Done))
+                .rename(&src, &dst)
+                .map(|()| (Txn::Rename { src, dst }, OpOutput::Done))
                 .map_err(|e| e.to_string()),
             FsOp::AddBlock { path, len } => {
                 let block_id = self.next_block_id;
                 self.ns
-                    .add_block(path, block_id)
+                    .add_block(&path, block_id)
                     .map(|()| {
                         self.next_block_id += 1;
-                        self.blocks.register(block_id, *len);
-                        (
-                            Txn::AddBlock { path: path.clone(), block_id, len: *len },
-                            OpOutput::Block(block_id),
-                        )
+                        self.blocks.register(block_id, len);
+                        (Txn::AddBlock { path, block_id, len }, OpOutput::Block(block_id))
                     })
                     .map_err(|e| e.to_string())
             }
             FsOp::CloseFile { path } => self
                 .ns
-                .close_file(path)
-                .map(|()| (Txn::CloseFile { path: path.clone() }, OpOutput::Done))
+                .close_file(&path)
+                .map(|()| (Txn::CloseFile { path }, OpOutput::Done))
                 .map_err(|e| e.to_string()),
             FsOp::SetPerm { path, perm } => self
                 .ns
-                .set_perm(path, *perm)
-                .map(|()| (Txn::SetPerm { path: path.clone(), perm: *perm }, OpOutput::Done))
+                .set_perm(&path, perm)
+                .map(|()| (Txn::SetPerm { path, perm }, OpOutput::Done))
                 .map_err(|e| e.to_string()),
             FsOp::GetFileInfo { .. } | FsOp::List { .. } => {
                 unreachable!("exec_mutation on a read")
@@ -135,7 +128,7 @@ impl MdsServer {
     }
 
     pub(crate) fn enqueue_mutation(&mut self, ctx: &mut Ctx<'_>, op: FsOp, reply: ReplyTo) {
-        match self.exec_mutation(&op) {
+        match self.exec_mutation(op) {
             Err(e) => self.reply_now(ctx, reply, Err(e)),
             Ok((txn, output)) => {
                 // Distributed-transaction fan-out: structural operations in
@@ -178,7 +171,7 @@ impl MdsServer {
     fn reply_now(&mut self, ctx: &mut Ctx<'_>, reply: ReplyTo, result: Result<OpOutput, String>) {
         match reply {
             ReplyTo::Client { node, seq } => {
-                let resp = MdsResp::Reply { seq, result };
+                let resp = std::sync::Arc::new(MdsResp::Reply { seq, result });
                 self.retry_cache.store(node, seq, resp.clone());
                 ctx.send(node, resp);
             }

@@ -43,6 +43,9 @@ pub struct MdsTiming {
     pub image_chunk: u64,
     /// Batches per journal catch-up page.
     pub catchup_page: usize,
+    /// Journal catch-up pages kept in flight against the pool at once, so
+    /// network RTT overlaps replay instead of serializing with it.
+    pub catchup_window: usize,
     /// Per-operation CPU costs (server capacity model).
     pub cpu: crate::ingress::CpuModel,
     /// Automatic image-checkpoint cadence for the active (`None` = only on
@@ -68,6 +71,7 @@ impl Default for MdsTiming {
             renew_image_gap: 512,
             image_chunk: 4 * 1024 * 1024,
             catchup_page: 64,
+            catchup_window: 4,
             cpu: crate::ingress::CpuModel::default(),
             checkpoint_interval: None,
             sync_cpu_per_standby: Duration::from_micros(5),

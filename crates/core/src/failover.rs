@@ -553,6 +553,9 @@ impl MdsServer {
         self.xg_outstanding.clear();
         self.elect = None;
         self.catchup = None;
+        // As active we mutated `ns` outside the replay session, so its
+        // cached handles may be stale.
+        self.replay.reset();
         self.role = Role::Junior;
         self.registered = false;
         self.announce_state(ctx);

@@ -90,6 +90,22 @@ pub enum MdsResp {
     },
 }
 
+impl MdsResp {
+    /// Extract a response from a wire message, accepting both the owned
+    /// form and the shared `Arc` form servers send for cache-backed replies
+    /// (the retry cache keeps responses behind `Arc`, so a reply — cached
+    /// or fresh — ships a reference-count bump instead of a deep clone).
+    pub fn from_message(msg: mams_sim::Message) -> Result<MdsResp, mams_sim::Message> {
+        match msg.downcast::<MdsResp>() {
+            Ok(r) => Ok(r),
+            Err(m) => match m.downcast::<std::sync::Arc<MdsResp>>() {
+                Ok(a) => Ok(std::sync::Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone())),
+                Err(m) => Err(m),
+            },
+        }
+    }
+}
+
 /// Intra-replica-group messages.
 #[derive(Debug, Clone)]
 pub enum GroupMsg {

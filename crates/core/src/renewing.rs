@@ -144,8 +144,9 @@ impl MdsServer {
         if gap > self.cfg.timing.renew_image_gap {
             self.start_image_fetch(ctx, false);
         } else {
-            self.catchup = Some(Catchup { stage: CatchupStage::Journal });
-            self.request_journal_page(ctx, false);
+            // The session start tells us the active's tip, so the request
+            // window can open fully on the first pump.
+            self.enter_journal_stage(ctx, false, tip_sn);
         }
     }
 
@@ -177,15 +178,64 @@ impl MdsServer {
         );
     }
 
-    fn request_journal_page(&mut self, ctx: &mut Ctx<'_>, for_upgrade: bool) {
-        let group = self.cfg.group;
-        let after = self.cursor.max_sn();
-        let max = self.cfg.timing.catchup_page;
-        self.pool_send(
-            ctx,
-            move |req| PoolReq::ReadJournal { group, after_sn: after, max, req },
-            PoolCtx::CatchupPage { for_upgrade },
-        );
+    /// Switch the catch-up session into the journal stage and start the
+    /// request window. `tail_hint` is the highest journal sn we know the
+    /// pool holds (0 when unknown — the first response teaches us).
+    fn enter_journal_stage(&mut self, ctx: &mut Ctx<'_>, for_upgrade: bool, tail_hint: Sn) {
+        self.catchup = Some(Catchup {
+            stage: CatchupStage::Journal {
+                inflight: 0,
+                next_after: self.cursor.max_sn(),
+                tail_hint,
+            },
+        });
+        self.pump_journal_pages(ctx, for_upgrade);
+    }
+
+    /// Top up the journal-page request window: keep up to `catchup_window`
+    /// page reads in flight, each asking for the page after the previous
+    /// request's range, so the pool RTT overlaps local replay. Responses
+    /// may arrive out of order; the stash/cursor machinery in
+    /// `ingest_batch` reassembles them contiguously.
+    fn pump_journal_pages(&mut self, ctx: &mut Ctx<'_>, for_upgrade: bool) {
+        let page = self.cfg.timing.catchup_page as u64;
+        let window = self.cfg.timing.catchup_window.max(1);
+        loop {
+            let applied = self.cursor.max_sn();
+            let after = {
+                let Some(Catchup {
+                    stage: CatchupStage::Journal { inflight, next_after, tail_hint },
+                }) = self.catchup.as_mut()
+                else {
+                    return;
+                };
+                if *inflight >= window {
+                    return;
+                }
+                if *inflight == 0 {
+                    // The window drained: anchor speculation back to the
+                    // contiguously applied position. This re-requests any
+                    // range whose response was lost instead of stalling on
+                    // the hole forever.
+                    *next_after = applied;
+                } else if *next_after >= *tail_hint {
+                    // Nothing known beyond this point; the in-flight
+                    // responses will refresh the tail hint.
+                    return;
+                }
+                let after = *next_after;
+                *next_after = after.saturating_add(page);
+                *inflight += 1;
+                after
+            };
+            let group = self.cfg.group;
+            let max = self.cfg.timing.catchup_page;
+            self.pool_send(
+                ctx,
+                move |req| PoolReq::ReadJournal { group, after_sn: after, max, req },
+                PoolCtx::CatchupPage { for_upgrade },
+            );
+        }
     }
 
     pub(crate) fn on_image_meta(&mut self, ctx: &mut Ctx<'_>, resp: PoolResp, for_upgrade: bool) {
@@ -196,10 +246,7 @@ impl MdsServer {
             PoolResp::ImageMeta { meta: Some((image_sn, size)), .. } => {
                 if image_sn <= self.cursor.max_sn() {
                     // We are already past the checkpoint: journal only.
-                    if let Some(c) = self.catchup.as_mut() {
-                        c.stage = CatchupStage::Journal;
-                    }
-                    self.request_journal_page(ctx, for_upgrade);
+                    self.enter_journal_stage(ctx, for_upgrade, 0);
                     return;
                 }
                 // Start or resume the chunked transfer.
@@ -218,10 +265,7 @@ impl MdsServer {
             }
             _ => {
                 // No image in the pool: fall back to pure journal replay.
-                if let Some(c) = self.catchup.as_mut() {
-                    c.stage = CatchupStage::Journal;
-                }
-                self.request_journal_page(ctx, for_upgrade);
+                self.enter_journal_stage(ctx, for_upgrade, 0);
             }
         }
     }
@@ -284,8 +328,9 @@ impl MdsServer {
             return;
         }
         // Every byte delivered: verify the checksum and adopt the tree.
+        let placeholder = CatchupStage::Journal { inflight: 0, next_after: 0, tail_hint: 0 };
         let decoder = match self.catchup.as_mut() {
-            Some(c) => match std::mem::replace(&mut c.stage, CatchupStage::Journal) {
+            Some(c) => match std::mem::replace(&mut c.stage, placeholder) {
                 CatchupStage::Image { decoder, .. } => decoder,
                 other => {
                     c.stage = other;
@@ -298,10 +343,11 @@ impl MdsServer {
             Ok((tree, image_sn)) => {
                 ctx.trace("renew.image_loaded", || format!("checkpoint sn {image_sn}"));
                 self.ns = tree;
+                self.replay.reset();
                 self.log = JournalLog::with_base(image_sn);
                 self.cursor = ReplayCursor::at(image_sn);
                 self.stash.clear();
-                self.request_journal_page(ctx, for_upgrade);
+                self.enter_journal_stage(ctx, for_upgrade, 0);
             }
             Err(e) => {
                 ctx.trace("renew.image_corrupt", || e.to_string());
@@ -313,47 +359,67 @@ impl MdsServer {
     }
 
     pub(crate) fn on_catchup_page(&mut self, ctx: &mut Ctx<'_>, resp: PoolResp, for_upgrade: bool) {
-        if self.catchup.is_none() && !for_upgrade {
+        if for_upgrade && self.role != Role::Upgrading {
+            // A straggler from a finished (or abandoned) upgrade; acting on
+            // it could re-run `finish_upgrade`.
             return;
         }
-        match resp {
-            PoolResp::Journal { batches, tail_sn, compacted, .. } => {
-                if compacted {
-                    // Checkpoint raced us; restart from the image.
-                    self.start_image_fetch(ctx, for_upgrade);
-                    return;
-                }
-                for b in batches {
-                    self.ingest_batch(b);
-                }
-                let caught_up = self.cursor.max_sn() >= tail_sn;
-                if for_upgrade {
-                    if caught_up {
-                        self.finish_upgrade(ctx);
-                    } else {
-                        self.request_journal_page(ctx, true);
-                    }
-                    return;
-                }
-                // Renewing: report progress; keep paging until we reach the
-                // shared journal's tail, then wait for the final stage.
-                let sn = self.cursor.max_sn();
-                if let Some(active) = self.active_hint {
-                    if active != ctx.id() {
-                        ctx.send(active, GroupMsg::RenewProgress { sn });
-                    }
-                }
-                if caught_up {
-                    if let Some(c) = self.catchup.as_mut() {
-                        c.stage = CatchupStage::Final;
-                    }
-                } else {
-                    self.request_journal_page(ctx, false);
-                }
-            }
+        // Account the response against the request window. A page arriving
+        // after the stage changed (image restart, session reset) is stale:
+        // drop it rather than corrupt another stage's bookkeeping.
+        {
+            let Some(Catchup { stage: CatchupStage::Journal { inflight, .. } }) =
+                self.catchup.as_mut()
+            else {
+                return;
+            };
+            *inflight = inflight.saturating_sub(1);
+        }
+        let (batches, tail_sn, compacted) = match resp {
+            PoolResp::Journal { batches, tail_sn, compacted, .. } => (batches, tail_sn, compacted),
             other => {
                 ctx.trace("renew.page_error", || format!("{other:?}"));
+                // Keep the pipeline moving despite the failed read.
+                self.pump_journal_pages(ctx, for_upgrade);
+                return;
             }
+        };
+        if compacted {
+            // Checkpoint raced us; restart from the image.
+            self.start_image_fetch(ctx, for_upgrade);
+            return;
+        }
+        for b in batches {
+            self.ingest_batch(b);
+        }
+        if let Some(Catchup { stage: CatchupStage::Journal { tail_hint, .. } }) =
+            self.catchup.as_mut()
+        {
+            *tail_hint = (*tail_hint).max(tail_sn);
+        }
+        let caught_up = self.cursor.max_sn() >= tail_sn;
+        if for_upgrade {
+            if caught_up {
+                self.finish_upgrade(ctx);
+            } else {
+                self.pump_journal_pages(ctx, true);
+            }
+            return;
+        }
+        // Renewing: report progress; keep paging until we reach the
+        // shared journal's tail, then wait for the final stage.
+        let sn = self.cursor.max_sn();
+        if let Some(active) = self.active_hint {
+            if active != ctx.id() {
+                ctx.send(active, GroupMsg::RenewProgress { sn });
+            }
+        }
+        if caught_up {
+            if let Some(c) = self.catchup.as_mut() {
+                c.stage = CatchupStage::Final;
+            }
+        } else {
+            self.pump_journal_pages(ctx, false);
         }
     }
 

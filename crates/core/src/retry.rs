@@ -9,15 +9,18 @@
 //! `AlreadyExists`), which the client libraries reconcile.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use mams_sim::NodeId;
 
 use crate::proto::MdsResp;
 
-/// Bounded per-client response cache.
+/// Bounded per-client response cache. Responses are held behind `Arc` so a
+/// cache hit (and the original send) is a reference-count bump, not a deep
+/// clone of the reply payload — listings and file infos can be large.
 #[derive(Debug, Default)]
 pub struct RetryCache {
-    per_client: HashMap<NodeId, BTreeMap<u64, MdsResp>>,
+    per_client: HashMap<NodeId, BTreeMap<u64, Arc<MdsResp>>>,
     cap: usize,
 }
 
@@ -35,12 +38,12 @@ impl RetryCache {
     }
 
     /// A cached response for an exact duplicate, if remembered.
-    pub fn check(&self, from: NodeId, seq: u64) -> Option<MdsResp> {
+    pub fn check(&self, from: NodeId, seq: u64) -> Option<Arc<MdsResp>> {
         self.per_client.get(&from).and_then(|m| m.get(&seq)).cloned()
     }
 
     /// Remember a response, evicting the oldest beyond the window.
-    pub fn store(&mut self, from: NodeId, seq: u64, resp: MdsResp) {
+    pub fn store(&mut self, from: NodeId, seq: u64, resp: Arc<MdsResp>) {
         let m = self.per_client.entry(from).or_default();
         m.insert(seq, resp);
         while m.len() > self.cap {
@@ -59,8 +62,8 @@ impl RetryCache {
 mod tests {
     use super::*;
 
-    fn resp(seq: u64) -> MdsResp {
-        MdsResp::Reply { seq, result: Ok(crate::proto::OpOutput::Done) }
+    fn resp(seq: u64) -> Arc<MdsResp> {
+        Arc::new(MdsResp::Reply { seq, result: Ok(crate::proto::OpOutput::Done) })
     }
 
     #[test]

@@ -9,7 +9,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use mams_coord::{CoordClient, Incoming};
 use mams_journal::{JournalBatch, JournalLog, ReplayCursor, SharedBatch, Sn, Txn, TxnId};
-use mams_namespace::{BlockMap, NamespaceTree};
+use mams_namespace::{BlockMap, NamespaceTree, ReplaySession};
 use mams_sim::{Ctx, Duration, Message, Node, NodeId, SimTime};
 use mams_storage::pool::Epoch;
 use mams_storage::proto::{PoolReq, PoolResp, ReqId};
@@ -141,8 +141,12 @@ pub(crate) enum CatchupStage {
     /// streaming decoder (no whole-image buffer), `offset` is the resume
     /// checkpoint.
     Image { offset: u64, decoder: Box<mams_namespace::StreamingImageDecoder> },
-    /// Replaying journal pages from the pool.
-    Journal,
+    /// Replaying journal pages from the pool, with up to `catchup_window`
+    /// page requests in flight so network RTT overlaps apply. `inflight`
+    /// counts outstanding requests, `next_after` is the next speculative
+    /// page boundary, and `tail_hint` bounds speculation (the last tail sn
+    /// any pool response reported; 0 until the first response).
+    Journal { inflight: usize, next_after: Sn, tail_hint: Sn },
     /// Waiting for the active's final synchronization range.
     Final,
 }
@@ -211,6 +215,10 @@ pub struct MdsServer {
     pub(crate) next_txid: TxnId,
     /// Next block id to allocate (replay advances it past any seen id).
     pub(crate) next_block_id: u64,
+    /// Journal replay fast path (validate-skip + cached parent handle).
+    /// Reset whenever `ns` is replaced or mutated outside replay (image
+    /// load, replica reset, a stint as active).
+    pub(crate) replay: ReplaySession,
 
     /// View cache maintained from watch events.
     pub(crate) view: HashMap<String, String>,
@@ -282,6 +290,7 @@ impl MdsServer {
             stash: BTreeMap::new(),
             next_txid: 1,
             next_block_id: 1,
+            replay: ReplaySession::new(),
             view: HashMap::new(),
             pending: Vec::new(),
             inflight: BTreeMap::new(),
@@ -356,7 +365,10 @@ impl MdsServer {
                 self.blocks.register(*block_id, *len);
                 self.next_block_id = self.next_block_id.max(*block_id + 1);
             }
-            if self.ns.apply(txn).is_err() {
+            // Replay fast path: journalled records were validated by the
+            // active, so the session skips re-validation and reuses the
+            // previous record's parent-directory resolution.
+            if self.replay.apply(&mut self.ns, txn).is_err() {
                 // Journaled transactions were validated before logging, so
                 // failure to re-apply means replica divergence.
                 self.divergences += 1;
@@ -392,6 +404,7 @@ impl MdsServer {
     /// to junior, per step 5 of the switch when sn values cannot match).
     pub(crate) fn reset_replica_state(&mut self) {
         self.ns = NamespaceTree::new();
+        self.replay.reset();
         self.log = JournalLog::new();
         self.cursor = ReplayCursor::new();
         self.stash.clear();

@@ -1,18 +1,41 @@
 //! Binary journal encoding.
 //!
 //! The SSP stores journal segments as sequential shared files; this module
-//! defines the record format: a fixed header (`magic`, `version`, `sn`,
-//! `first_txid`, record count), length-prefixed records, and a trailing
-//! FNV-1a-64 checksum so a torn or corrupted write is detected on replay.
+//! defines the record format. Two versions exist behind the header's
+//! version field:
+//!
+//! * **v1** — fixed-width header (`sn`, `first_txid`, record count as
+//!   u64/u32), u16-length-prefixed path strings, and a trailing FNV-1a-64
+//!   checksum computed by a second scan over the body. Still decoded for
+//!   compatibility with journals written by older actives.
+//! * **v2** — the current write format. Header integers are LEB128
+//!   varints; per-record txids stay implicit deltas from the varint
+//!   `first_txid` base (txid of record *i* is `first_txid + i`). Paths are
+//!   prefix-compressed against the previous path in the batch: journals
+//!   have heavy directory locality (a client writing `/a/b/f0001..f9999`
+//!   repeats the 40-byte prefix thousands of times), so each path is
+//!   `⟨varint shared, varint suffix_len, suffix bytes⟩` where `shared` is
+//!   the byte length of the common prefix with the previously encoded
+//!   path. `Rename` chains: `src` deltas against the previous path and
+//!   `dst` deltas against `src`. The checksum is folded in while encoding
+//!   via [`HashingBuf`] — sealing a batch is one 8-byte append, not a
+//!   second pass.
+//!
+//! Both versions end with the same 8-byte big-endian FNV-1a-64 trailer over
+//! everything before it, so a torn or corrupted write is detected on
+//! replay before any field is trusted.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use crate::hash::{fnv1a64, peek_varint, HashingBuf, Varint};
 use crate::txn::{JournalBatch, Txn};
 
 /// Format magic: "MAMSJRNL" truncated to 4 bytes.
 pub const MAGIC: u32 = 0x4d4a_524e;
-/// Current format version.
-pub const VERSION: u16 = 1;
+/// Legacy fixed-width format.
+pub const VERSION_V1: u16 = 1;
+/// Varint + prefix-compressed-path format (current write format).
+pub const VERSION_V2: u16 = 2;
 
 /// Decoding failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,9 +43,19 @@ pub enum EncodeError {
     BadMagic(u32),
     BadVersion(u16),
     Truncated,
-    BadChecksum { stored: u64, computed: u64 },
+    BadChecksum {
+        stored: u64,
+        computed: u64,
+    },
     BadTag(u8),
     BadUtf8,
+    BadVarint,
+    /// A v2 path delta referenced more shared bytes than the previous path
+    /// has, or split it off a UTF-8 character boundary.
+    BadPrefix {
+        shared: u64,
+        prev_len: usize,
+    },
 }
 
 impl std::fmt::Display for EncodeError {
@@ -36,20 +69,19 @@ impl std::fmt::Display for EncodeError {
             }
             EncodeError::BadTag(t) => write!(f, "unknown transaction tag {t}"),
             EncodeError::BadUtf8 => write!(f, "non-UTF-8 path in journal record"),
+            EncodeError::BadVarint => write!(f, "malformed varint in journal batch"),
+            EncodeError::BadPrefix { shared, prev_len } => {
+                write!(f, "journal path delta shares {shared} bytes of a {prev_len}-byte prefix")
+            }
         }
     }
 }
 
 impl std::error::Error for EncodeError {}
 
-fn fnv1a64(data: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in data {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1_0000_0000_01b3);
-    }
-    h
-}
+// ---------------------------------------------------------------------------
+// v1 (legacy fixed-width)
+// ---------------------------------------------------------------------------
 
 fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u16(s.len() as u16);
@@ -68,7 +100,7 @@ fn get_str(buf: &mut Bytes) -> Result<String, EncodeError> {
     String::from_utf8(raw.to_vec()).map_err(|_| EncodeError::BadUtf8)
 }
 
-fn put_txn(buf: &mut BytesMut, t: &Txn) {
+fn put_txn_v1(buf: &mut BytesMut, t: &Txn) {
     buf.put_u8(t.tag());
     match t {
         Txn::Create { path, replication } => {
@@ -97,7 +129,7 @@ fn put_txn(buf: &mut BytesMut, t: &Txn) {
     }
 }
 
-fn get_txn(buf: &mut Bytes) -> Result<Txn, EncodeError> {
+fn get_txn_v1(buf: &mut Bytes) -> Result<Txn, EncodeError> {
     if buf.remaining() < 1 {
         return Err(EncodeError::Truncated);
     }
@@ -138,57 +170,233 @@ fn get_txn(buf: &mut Bytes) -> Result<Txn, EncodeError> {
     })
 }
 
-/// Encode a batch into its on-disk/wire bytes.
-pub fn encode_batch(batch: &JournalBatch) -> Bytes {
+/// Encode a batch in the legacy v1 format. Kept for the bench baseline and
+/// for tests exercising the read-compat path; new wire bytes use v2.
+pub fn encode_batch_v1(batch: &JournalBatch) -> Bytes {
     let mut buf = BytesMut::with_capacity(64 + batch.records.len() * 48);
     buf.put_u32(MAGIC);
-    buf.put_u16(VERSION);
+    buf.put_u16(VERSION_V1);
     buf.put_u64(batch.sn);
     buf.put_u64(batch.first_txid);
     buf.put_u32(batch.records.len() as u32);
     for t in &batch.records {
-        put_txn(&mut buf, t);
+        put_txn_v1(&mut buf, t);
     }
     let sum = fnv1a64(&buf);
     buf.put_u64(sum);
     buf.freeze()
 }
 
-/// Decode a batch, verifying magic, version and checksum.
-pub fn decode_batch(data: Bytes) -> Result<JournalBatch, EncodeError> {
-    if data.remaining() < 8 {
+fn decode_batch_v1(mut buf: Bytes) -> Result<JournalBatch, EncodeError> {
+    if buf.remaining() < 8 + 8 + 4 {
         return Err(EncodeError::Truncated);
-    }
-    let body_len = data.remaining() - 8;
-    let body = data.slice(..body_len);
-    let stored = {
-        let mut tail = data.slice(body_len..);
-        tail.get_u64()
-    };
-    let computed = fnv1a64(&body);
-    if stored != computed {
-        return Err(EncodeError::BadChecksum { stored, computed });
-    }
-    let mut buf = body;
-    if buf.remaining() < 4 + 2 + 8 + 8 + 4 {
-        return Err(EncodeError::Truncated);
-    }
-    let magic = buf.get_u32();
-    if magic != MAGIC {
-        return Err(EncodeError::BadMagic(magic));
-    }
-    let version = buf.get_u16();
-    if version != VERSION {
-        return Err(EncodeError::BadVersion(version));
     }
     let sn = buf.get_u64();
     let first_txid = buf.get_u64();
     let n = buf.get_u32() as usize;
     let mut records = Vec::with_capacity(n);
     for _ in 0..n {
-        records.push(get_txn(&mut buf)?);
+        records.push(get_txn_v1(&mut buf)?);
     }
     Ok(JournalBatch { sn, first_txid, records })
+}
+
+// ---------------------------------------------------------------------------
+// v2 (varints + prefix-compressed paths + incremental checksum)
+// ---------------------------------------------------------------------------
+
+/// Longest common prefix of `prev` and `next` in bytes, clamped back to a
+/// character boundary so the suffix stays valid UTF-8 on its own.
+fn shared_prefix(prev: &str, next: &str) -> usize {
+    let a = prev.as_bytes();
+    let b = next.as_bytes();
+    let mut n = a.iter().zip(b).take_while(|(x, y)| x == y).count();
+    while n > 0 && !prev.is_char_boundary(n) {
+        n -= 1;
+    }
+    n
+}
+
+/// Append one path as a delta against `prev`, then advance `prev` to it.
+fn put_path_v2(buf: &mut HashingBuf, prev: &mut String, path: &str) {
+    let shared = shared_prefix(prev, path);
+    let suffix = &path.as_bytes()[shared..];
+    buf.put_varint(shared as u64);
+    buf.put_varint(suffix.len() as u64);
+    buf.put_slice(suffix);
+    prev.truncate(shared);
+    prev.push_str(&path[shared..]);
+}
+
+fn put_txn_v2(buf: &mut HashingBuf, prev: &mut String, t: &Txn) {
+    buf.put_u8(t.tag());
+    match t {
+        Txn::Create { path, replication } => {
+            put_path_v2(buf, prev, path);
+            buf.put_u8(*replication);
+        }
+        Txn::Mkdir { path } => put_path_v2(buf, prev, path),
+        Txn::Delete { path, recursive } => {
+            put_path_v2(buf, prev, path);
+            buf.put_u8(*recursive as u8);
+        }
+        Txn::Rename { src, dst } => {
+            put_path_v2(buf, prev, src);
+            put_path_v2(buf, prev, dst);
+        }
+        Txn::AddBlock { path, block_id, len } => {
+            put_path_v2(buf, prev, path);
+            buf.put_varint(*block_id);
+            buf.put_varint(*len as u64);
+        }
+        Txn::CloseFile { path } => put_path_v2(buf, prev, path),
+        Txn::SetPerm { path, perm } => {
+            put_path_v2(buf, prev, path);
+            buf.put_u16(*perm);
+        }
+    }
+}
+
+/// A consuming view over the checksum-verified v2 body.
+struct Reader<'a> {
+    w: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn varint(&mut self) -> Result<u64, EncodeError> {
+        match peek_varint(self.w) {
+            Varint::Val(v, n) => {
+                self.w = &self.w[n..];
+                Ok(v)
+            }
+            Varint::Need => Err(EncodeError::Truncated),
+            Varint::Bad => Err(EncodeError::BadVarint),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, EncodeError> {
+        let (&b, rest) = self.w.split_first().ok_or(EncodeError::Truncated)?;
+        self.w = rest;
+        Ok(b)
+    }
+
+    fn u16(&mut self) -> Result<u16, EncodeError> {
+        if self.w.len() < 2 {
+            return Err(EncodeError::Truncated);
+        }
+        let v = u16::from_be_bytes(self.w[..2].try_into().expect("2 bytes"));
+        self.w = &self.w[2..];
+        Ok(v)
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], EncodeError> {
+        if self.w.len() < n {
+            return Err(EncodeError::Truncated);
+        }
+        let (head, rest) = self.w.split_at(n);
+        self.w = rest;
+        Ok(head)
+    }
+
+    /// Rebuild a delta-encoded path into `prev` and return an owned copy.
+    fn path(&mut self, prev: &mut String) -> Result<String, EncodeError> {
+        let shared = self.varint()?;
+        if shared as usize > prev.len() || !prev.is_char_boundary(shared as usize) {
+            return Err(EncodeError::BadPrefix { shared, prev_len: prev.len() });
+        }
+        let suffix_len = self.varint()? as usize;
+        let suffix =
+            std::str::from_utf8(self.bytes(suffix_len)?).map_err(|_| EncodeError::BadUtf8)?;
+        prev.truncate(shared as usize);
+        prev.push_str(suffix);
+        Ok(prev.clone())
+    }
+
+    fn txn(&mut self, prev: &mut String) -> Result<Txn, EncodeError> {
+        let tag = self.u8()?;
+        Ok(match tag {
+            1 => {
+                let path = self.path(prev)?;
+                Txn::Create { path, replication: self.u8()? }
+            }
+            2 => Txn::Mkdir { path: self.path(prev)? },
+            3 => {
+                let path = self.path(prev)?;
+                Txn::Delete { path, recursive: self.u8()? != 0 }
+            }
+            4 => {
+                let src = self.path(prev)?;
+                let dst = self.path(prev)?;
+                Txn::Rename { src, dst }
+            }
+            5 => {
+                let path = self.path(prev)?;
+                let block_id = self.varint()?;
+                let len = self.varint()?;
+                Txn::AddBlock { path, block_id, len: len as u32 }
+            }
+            6 => Txn::CloseFile { path: self.path(prev)? },
+            7 => {
+                let path = self.path(prev)?;
+                Txn::SetPerm { path, perm: self.u16()? }
+            }
+            t => return Err(EncodeError::BadTag(t)),
+        })
+    }
+}
+
+/// Encode a batch into its on-disk/wire bytes (current format, v2).
+pub fn encode_batch(batch: &JournalBatch) -> Bytes {
+    let mut buf = HashingBuf::with_capacity(32 + batch.records.len() * 24);
+    buf.put_u32(MAGIC);
+    buf.put_u16(VERSION_V2);
+    buf.put_varint(batch.sn);
+    buf.put_varint(batch.first_txid);
+    buf.put_varint(batch.records.len() as u64);
+    let mut prev = String::new();
+    for t in &batch.records {
+        put_txn_v2(&mut buf, &mut prev, t);
+    }
+    buf.seal()
+}
+
+fn decode_batch_v2(body: &[u8]) -> Result<JournalBatch, EncodeError> {
+    let mut r = Reader { w: body };
+    let sn = r.varint()?;
+    let first_txid = r.varint()?;
+    let n = r.varint()? as usize;
+    let mut records = Vec::with_capacity(n.min(body.len()));
+    let mut prev = String::new();
+    for _ in 0..n {
+        records.push(r.txn(&mut prev)?);
+    }
+    Ok(JournalBatch { sn, first_txid, records })
+}
+
+/// Decode a batch of either version, verifying magic, version and checksum.
+pub fn decode_batch(data: Bytes) -> Result<JournalBatch, EncodeError> {
+    if data.remaining() < 8 {
+        return Err(EncodeError::Truncated);
+    }
+    let body_len = data.remaining() - 8;
+    let stored = u64::from_be_bytes(data[body_len..].try_into().expect("8-byte trailer"));
+    let computed = fnv1a64(&data[..body_len]);
+    if stored != computed {
+        return Err(EncodeError::BadChecksum { stored, computed });
+    }
+    if body_len < 4 + 2 {
+        return Err(EncodeError::Truncated);
+    }
+    let magic = u32::from_be_bytes(data[..4].try_into().expect("4 bytes"));
+    if magic != MAGIC {
+        return Err(EncodeError::BadMagic(magic));
+    }
+    let version = u16::from_be_bytes(data[4..6].try_into().expect("2 bytes"));
+    match version {
+        VERSION_V1 => decode_batch_v1(data.slice(6..body_len)),
+        VERSION_V2 => decode_batch_v2(&data[6..body_len]),
+        v => Err(EncodeError::BadVersion(v)),
+    }
 }
 
 #[cfg(test)]
@@ -214,40 +422,97 @@ mod tests {
     #[test]
     fn round_trip_all_variants() {
         let b = sample_batch();
-        let enc = encode_batch(&b);
-        let dec = decode_batch(enc).unwrap();
+        let dec = decode_batch(encode_batch(&b)).unwrap();
         assert_eq!(dec, b);
     }
 
     #[test]
-    fn corruption_detected() {
+    fn v1_round_trip_still_decodes() {
         let b = sample_batch();
-        let enc = encode_batch(&b);
-        for i in [0usize, 6, enc.len() / 2, enc.len() - 1] {
-            let mut bad = enc.to_vec();
-            bad[i] ^= 0xff;
-            let err = decode_batch(Bytes::from(bad)).unwrap_err();
-            assert!(
-                matches!(
-                    err,
-                    EncodeError::BadChecksum { .. }
-                        | EncodeError::BadMagic(_)
-                        | EncodeError::BadVersion(_)
-                ),
-                "unexpected error at byte {i}: {err:?}"
-            );
+        let enc = encode_batch_v1(&b);
+        assert_eq!(decode_batch(enc).unwrap(), b);
+    }
+
+    #[test]
+    fn v1_and_v2_decode_agree() {
+        let b = sample_batch();
+        assert_eq!(
+            decode_batch(encode_batch_v1(&b)).unwrap(),
+            decode_batch(encode_batch(&b)).unwrap()
+        );
+    }
+
+    #[test]
+    fn v2_prefix_compression_shrinks_local_workloads() {
+        // A directory-local run of creates: v2's shared-prefix deltas
+        // should beat v1's full path strings comfortably.
+        let records: Vec<Txn> = (0..256)
+            .map(|i| Txn::Create {
+                path: format!("/warehouse/db7/events/part-{i:05}"),
+                replication: 3,
+            })
+            .collect();
+        let b = JournalBatch::new(9, 1000, records);
+        let v1 = encode_batch_v1(&b);
+        let v2 = encode_batch(&b);
+        assert_eq!(decode_batch(v2.clone()).unwrap(), b);
+        assert!(v2.len() * 2 < v1.len(), "v2 ({}) should be <half of v1 ({})", v2.len(), v1.len());
+    }
+
+    #[test]
+    fn v2_handles_multibyte_boundary_prefixes() {
+        // Paths diverging inside a multi-byte character: the shared prefix
+        // must clamp to a char boundary, not split "α"/"β" mid-sequence.
+        let b = JournalBatch::new(
+            1,
+            1,
+            vec![
+                Txn::Mkdir { path: "/αβ".into() },
+                Txn::Mkdir { path: "/αγ".into() },
+                Txn::Mkdir { path: "/α".into() },
+                Txn::Mkdir { path: "/αβγδ".into() },
+            ],
+        );
+        assert_eq!(decode_batch(encode_batch(&b)).unwrap(), b);
+    }
+
+    #[test]
+    fn single_record_batch_round_trips() {
+        let b = JournalBatch::new(1, u64::MAX - 1, vec![Txn::Mkdir { path: "/x".into() }]);
+        assert_eq!(decode_batch(encode_batch(&b)).unwrap(), b);
+        assert_eq!(decode_batch(encode_batch_v1(&b)).unwrap(), b);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        for enc in [encode_batch(&sample_batch()), encode_batch_v1(&sample_batch())] {
+            for i in [0usize, 6, enc.len() / 2, enc.len() - 1] {
+                let mut bad = enc.to_vec();
+                bad[i] ^= 0xff;
+                let err = decode_batch(Bytes::from(bad)).unwrap_err();
+                assert!(
+                    matches!(
+                        err,
+                        EncodeError::BadChecksum { .. }
+                            | EncodeError::BadMagic(_)
+                            | EncodeError::BadVersion(_)
+                    ),
+                    "unexpected error at byte {i}: {err:?}"
+                );
+            }
         }
     }
 
     #[test]
     fn truncation_detected() {
-        let enc = encode_batch(&sample_batch());
-        for cut in [0usize, 4, 7, 20, enc.len() - 9] {
-            let err = decode_batch(enc.slice(..cut)).unwrap_err();
-            assert!(
-                matches!(err, EncodeError::Truncated | EncodeError::BadChecksum { .. }),
-                "cut={cut}: {err:?}"
-            );
+        for enc in [encode_batch(&sample_batch()), encode_batch_v1(&sample_batch())] {
+            for cut in [0usize, 4, 7, 20, enc.len() - 9] {
+                let err = decode_batch(enc.slice(..cut)).unwrap_err();
+                assert!(
+                    matches!(err, EncodeError::Truncated | EncodeError::BadChecksum { .. }),
+                    "cut={cut}: {err:?}"
+                );
+            }
         }
     }
 
@@ -256,5 +521,7 @@ mod tests {
         let e = EncodeError::BadChecksum { stored: 1, computed: 2 };
         assert!(format!("{e}").contains("checksum"));
         assert!(format!("{}", EncodeError::BadTag(9)).contains("tag 9"));
+        assert!(format!("{}", EncodeError::BadVarint).contains("varint"));
+        assert!(format!("{}", EncodeError::BadPrefix { shared: 5, prev_len: 2 }).contains("5"));
     }
 }

@@ -122,7 +122,7 @@ impl FsIo {
 
     /// Feed a message through.
     pub fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) -> IoEvent {
-        let msg = match msg.downcast::<MdsResp>() {
+        let msg = match MdsResp::from_message(msg) {
             Ok(MdsResp::Reply { seq, result }) => {
                 let p = match self.pending.remove(&seq) {
                     Some(p) => p,

@@ -25,7 +25,8 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use bytes::{BufMut, Bytes, BytesMut};
+use bytes::Bytes;
+use mams_journal::hash::{peek_varint, Fnv1a64, HashingBuf, Varint};
 use mams_journal::Sn;
 
 use crate::inode::{Inode, InodeId, ROOT_ID};
@@ -106,165 +107,25 @@ impl NamespaceImage {
     }
 }
 
-// ---------------------------------------------------------------- checksum
-
-/// Incremental FNV-1a (64-bit). Byte-identical to the classic one-byte-at-
-/// a-time definition, but the bulk loop loads 8-byte words and unrolls the
-/// eight byte-steps from a register — fewer loads and bounds checks on the
-/// megabytes-long image bodies. Feeding it the same bytes in any split
-/// produces the same digest, which is what lets encode seal the checksum
-/// without re-scanning the buffer and lets the streaming decoder verify
-/// chunk by chunk.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct Fnv1a64 {
-    h: u64,
-}
-
-impl Fnv1a64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x1_0000_0000_01b3;
-
-    pub(crate) fn new() -> Self {
-        Fnv1a64 { h: Self::OFFSET }
-    }
-
-    #[inline]
-    pub(crate) fn write(&mut self, data: &[u8]) {
-        const P: u64 = Fnv1a64::PRIME;
-        let mut h = self.h;
-        let mut words = data.chunks_exact(8);
-        for w in &mut words {
-            let x = u64::from_le_bytes(w.try_into().expect("8-byte chunk"));
-            h = (h ^ (x & 0xff)).wrapping_mul(P);
-            h = (h ^ ((x >> 8) & 0xff)).wrapping_mul(P);
-            h = (h ^ ((x >> 16) & 0xff)).wrapping_mul(P);
-            h = (h ^ ((x >> 24) & 0xff)).wrapping_mul(P);
-            h = (h ^ ((x >> 32) & 0xff)).wrapping_mul(P);
-            h = (h ^ ((x >> 40) & 0xff)).wrapping_mul(P);
-            h = (h ^ ((x >> 48) & 0xff)).wrapping_mul(P);
-            h = (h ^ (x >> 56)).wrapping_mul(P);
-        }
-        for &b in words.remainder() {
-            h = (h ^ b as u64).wrapping_mul(P);
-        }
-        self.h = h;
-    }
-
-    pub(crate) fn digest(&self) -> u64 {
-        self.h
-    }
-}
-
-/// One-shot FNV-1a 64 (test oracle).
-#[cfg(test)]
-fn fnv1a64(data: &[u8]) -> u64 {
-    let mut f = Fnv1a64::new();
-    f.write(data);
-    f.digest()
-}
-
-// ----------------------------------------------------------------- varints
-
-/// LEB128-encode `v`.
-fn put_varint(buf: &mut HashingBuf, mut v: u64) {
-    let mut tmp = [0u8; 10];
-    let mut n = 0;
-    loop {
-        let b = (v & 0x7f) as u8;
-        v >>= 7;
-        tmp[n] = if v == 0 { b } else { b | 0x80 };
-        n += 1;
-        if v == 0 {
-            break;
-        }
-    }
-    buf.put_slice(&tmp[..n]);
-}
-
-/// Result of peeking a varint at the front of a window.
-enum Varint {
-    /// Not enough bytes yet.
-    Need,
-    /// Malformed (longer than 10 bytes or overflowing 64 bits).
-    Bad,
-    /// Decoded value and its encoded length.
-    Val(u64, usize),
-}
-
-fn peek_varint(w: &[u8]) -> Varint {
-    let mut x = 0u64;
-    for (i, &b) in w.iter().enumerate() {
-        if i == 9 && (b & 0x7f) > 1 || i > 9 {
-            return Varint::Bad;
-        }
-        x |= ((b & 0x7f) as u64) << (7 * i);
-        if b & 0x80 == 0 {
-            return Varint::Val(x, i + 1);
-        }
-    }
-    Varint::Need
-}
-
 // ------------------------------------------------------------------ encode
+//
+// The checksum machinery ([`Fnv1a64`], [`HashingBuf`], varints) is shared
+// with the journal wire format and lives in `mams_journal::hash`; the
+// digests here are byte-identical to the private copy this module carried
+// before the hoist, so old images still verify.
 
-/// An output buffer that folds every written byte into the running
-/// checksum, so sealing the image is one 8-byte append instead of a second
-/// scan over the whole body.
-struct HashingBuf {
-    buf: BytesMut,
-    hash: Fnv1a64,
-}
-
-impl HashingBuf {
-    fn with_capacity(n: usize) -> Self {
-        HashingBuf { buf: BytesMut::with_capacity(n), hash: Fnv1a64::new() }
-    }
-
-    fn put_u8(&mut self, v: u8) {
-        self.hash.write(&[v]);
-        self.buf.put_u8(v);
-    }
-
-    fn put_u16(&mut self, v: u16) {
-        self.hash.write(&v.to_be_bytes());
-        self.buf.put_u16(v);
-    }
-
-    fn put_u32(&mut self, v: u32) {
-        self.hash.write(&v.to_be_bytes());
-        self.buf.put_u32(v);
-    }
-
-    fn put_u64(&mut self, v: u64) {
-        self.hash.write(&v.to_be_bytes());
-        self.buf.put_u64(v);
-    }
-
-    fn put_slice(&mut self, s: &[u8]) {
-        self.hash.write(s);
-        self.buf.put_slice(s);
-    }
-
-    /// Append the checksum trailer (not hashed) and freeze.
-    fn seal(mut self) -> Bytes {
-        let sum = self.hash.digest();
-        self.buf.put_u64(sum);
-        self.buf.freeze()
-    }
-
-    fn header(&mut self, version: u16, checkpoint_sn: Sn, root_perm: u16) {
-        self.put_u32(MAGIC);
-        self.put_u16(version);
-        self.put_u64(checkpoint_sn);
-        self.put_u16(root_perm);
-    }
+fn put_header(out: &mut HashingBuf, version: u16, checkpoint_sn: Sn, root_perm: u16) {
+    out.put_u32(MAGIC);
+    out.put_u16(version);
+    out.put_u64(checkpoint_sn);
+    out.put_u16(root_perm);
 }
 
 /// Encode the tree into a current-format (v2) image checkpointed at
 /// `checkpoint_sn`.
 pub fn encode_image(tree: &NamespaceTree, checkpoint_sn: Sn) -> NamespaceImage {
     let mut out = HashingBuf::with_capacity(4096);
-    out.header(VERSION_V2, checkpoint_sn, tree.inodes[&ROOT_ID].perm());
+    put_header(&mut out, VERSION_V2, checkpoint_sn, tree.inodes[&ROOT_ID].perm());
 
     // Preorder DFS. Every emitted entry gets the next index (the root is
     // index 0 and is never emitted); children reference their parent by
@@ -283,8 +144,8 @@ pub fn encode_image(tree: &NamespaceTree, checkpoint_sn: Sn) -> NamespaceImage {
         match &tree.inodes[&id] {
             Inode::Directory { children, perm } => {
                 out.put_u8(b'D');
-                put_varint(&mut out, parent);
-                put_varint(&mut out, name.len() as u64);
+                out.put_varint(parent);
+                out.put_varint(name.len() as u64);
                 out.put_slice(name.as_bytes());
                 out.put_u16(*perm);
                 for (n, child) in children.iter().rev() {
@@ -293,15 +154,15 @@ pub fn encode_image(tree: &NamespaceTree, checkpoint_sn: Sn) -> NamespaceImage {
             }
             Inode::File { blocks, replication, sealed, perm } => {
                 out.put_u8(b'F');
-                put_varint(&mut out, parent);
-                put_varint(&mut out, name.len() as u64);
+                out.put_varint(parent);
+                out.put_varint(name.len() as u64);
                 out.put_slice(name.as_bytes());
                 out.put_u16(*perm);
                 out.put_u8(*replication);
                 out.put_u8(*sealed as u8);
-                put_varint(&mut out, blocks.len() as u64);
+                out.put_varint(blocks.len() as u64);
                 for b in blocks {
-                    put_varint(&mut out, *b);
+                    out.put_varint(*b);
                 }
             }
         }
@@ -319,7 +180,7 @@ pub fn encode_image(tree: &NamespaceTree, checkpoint_sn: Sn) -> NamespaceImage {
 /// use [`encode_image`].
 pub fn encode_image_v1(tree: &NamespaceTree, checkpoint_sn: Sn) -> NamespaceImage {
     let mut out = HashingBuf::with_capacity(4096);
-    out.header(VERSION_V1, checkpoint_sn, tree.inodes[&ROOT_ID].perm());
+    put_header(&mut out, VERSION_V1, checkpoint_sn, tree.inodes[&ROOT_ID].perm());
 
     // Preorder DFS with explicit paths; children of a directory are visited
     // in sorted order, so parents always precede children.
@@ -892,36 +753,16 @@ mod tests {
     }
 
     #[test]
-    fn fnv1a64_matches_reference_vectors() {
-        // Fixed vectors under the repo-wide hash constants (the same
-        // offset/prime as journal record checksums and tree fingerprints).
-        // Pinning these guarantees the word-unrolled rewrite produces
-        // byte-identical digests to the pre-v2 byte-wise implementation,
-        // so old images still pass checksum verification.
-        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
-        assert_eq!(fnv1a64(b"a"), 0xb084_984c_8601_ec8c);
-        assert_eq!(fnv1a64(b"foobar"), 0x2a2a_5471_f739_67e8);
-        // The word-unrolled bulk loop agrees with the byte-wise definition
-        // on lengths around the 8-byte boundary.
-        let data: Vec<u8> = (0u16..257).map(|i| (i % 251) as u8).collect();
-        for len in 0..data.len() {
-            let byte_wise = data[..len].iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &b| {
-                (h ^ b as u64).wrapping_mul(0x1_0000_0000_01b3)
-            });
-            assert_eq!(fnv1a64(&data[..len]), byte_wise, "len {len}");
-        }
-    }
-
-    #[test]
-    fn fnv1a64_is_split_invariant() {
-        let data: Vec<u8> = (0u16..100).map(|i| i as u8).collect();
-        let whole = fnv1a64(&data);
-        for split in 0..=data.len() {
-            let mut f = Fnv1a64::new();
-            f.write(&data[..split]);
-            f.write(&data[split..]);
-            assert_eq!(f.digest(), whole, "split {split}");
-        }
+    fn image_trailer_is_shared_fnv_of_body() {
+        // The image checksum is the repo-wide shared FNV-1a-64 (hoisted to
+        // `mams_journal::hash`), so images written by the pre-hoist private
+        // copy still verify byte-for-byte.
+        let img = encode_image(&sample_tree(), 1);
+        let (body, trailer) = img.data.split_at(img.data.len() - TRAILER_LEN);
+        assert_eq!(
+            u64::from_be_bytes(trailer.try_into().unwrap()),
+            mams_journal::hash::fnv1a64(body)
+        );
     }
 
     #[test]

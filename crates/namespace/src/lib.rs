@@ -26,4 +26,4 @@ pub use image::{
 };
 pub use inode::{FileInfo, Inode, InodeId};
 pub use partition::Partitioner;
-pub use tree::{NamespaceTree, NsError};
+pub use tree::{NamespaceTree, NsError, ReplaySession};

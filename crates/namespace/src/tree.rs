@@ -610,6 +610,182 @@ impl Apply for NamespaceTree {
     }
 }
 
+/// Resolution-skipping journal replay fast path.
+///
+/// Journalled records were fully validated by the active before they were
+/// logged, so a replica replaying them can skip `path::validate` and most
+/// of the from-root resolution work that dominates naive `apply`:
+///
+/// * the **last-resolved parent directory** `(path, id)` is cached across
+///   records — journals have heavy directory locality, so a run of creates
+///   into one directory costs one resolve total;
+/// * the **last-touched file** is cached the same way, making the
+///   ubiquitous `Create f → AddBlock f → CloseFile f` sequence two map
+///   probes instead of two more resolutions;
+/// * creates and mkdirs attach via [`NamespaceTree::attach_child`] — one
+///   B-tree entry probe, no duplicate pre-check, and none of the
+///   [`FileInfo`] allocation (`path` string + `blocks` clone) that the
+///   client-facing `create` pays for its response.
+///
+/// Soundness of the caches rests on the same invariant as the tree's own
+/// resolution cache (see module docs): inode ids are never reused,
+/// directories never become files, and only `Delete`/`Rename` relocate or
+/// remove inodes — the session conservatively drops both caches on those
+/// records (structural ops are rare in journals). The caches also go stale
+/// if the tree is mutated *outside* the session (direct ops on an active,
+/// or wholesale replacement by an image load): callers must [`reset`] at
+/// those boundaries before replaying again.
+///
+/// Errors are returned, not panicked on, so callers keep counting replay
+/// divergences exactly as with naive `apply`. Error *kinds* can differ
+/// from naive apply on malformed records (the session does only basename
+/// sanity checks), but success/failure agrees: a record naive apply
+/// accepts is applied identically, and a record it rejects is rejected.
+///
+/// [`reset`]: ReplaySession::reset
+#[derive(Debug, Default)]
+pub struct ReplaySession {
+    /// Cached `(path, id)` of the last-resolved parent directory.
+    dir: String,
+    dir_id: InodeId,
+    dir_valid: bool,
+    /// Cached `(path, id)` of the last-resolved non-parent node (usually a
+    /// file mid `Create/AddBlock/CloseFile` run).
+    node: String,
+    node_id: InodeId,
+    node_valid: bool,
+}
+
+impl ReplaySession {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drop the cached handles. Call whenever the tree may have changed
+    /// hands since the last `apply` through this session: after an image
+    /// load replaces the tree, after `reset_replica_state`, or after a
+    /// stint as active mutating the namespace directly.
+    pub fn reset(&mut self) {
+        self.dir_valid = false;
+        self.node_valid = false;
+    }
+
+    /// Apply one journalled record to `tree` via the fast path.
+    pub fn apply(&mut self, tree: &mut NamespaceTree, txn: &Txn) -> Result<(), NsError> {
+        match txn {
+            Txn::Create { path, replication } => {
+                let (pid, name) = self.parent_of(tree, path)?;
+                let id = tree.attach_child(pid, name, Inode::new_file(*replication))?;
+                self.remember_node(path, id);
+                Ok(())
+            }
+            Txn::Mkdir { path } => {
+                let (pid, name) = self.parent_of(tree, path)?;
+                let id = tree.attach_child(pid, name, Inode::new_dir())?;
+                // Subsequent records usually populate the new directory.
+                self.remember_dir(path, id);
+                Ok(())
+            }
+            Txn::Delete { path, recursive } => {
+                self.reset();
+                tree.delete(path, *recursive).map(|_| ())
+            }
+            Txn::Rename { src, dst } => {
+                self.reset();
+                tree.rename(src, dst)
+            }
+            Txn::AddBlock { path, block_id, .. } => {
+                let id = self.resolve_node(tree, path)?;
+                match tree.inodes.get_mut(&id).expect("cached/resolved inode exists") {
+                    Inode::File { blocks, sealed, .. } => {
+                        if *sealed {
+                            return Err(NsError::FileSealed(path.clone()));
+                        }
+                        blocks.push(*block_id);
+                        Ok(())
+                    }
+                    Inode::Directory { .. } => Err(NsError::IsDirectory(path.clone())),
+                }
+            }
+            Txn::CloseFile { path } => {
+                let id = self.resolve_node(tree, path)?;
+                match tree.inodes.get_mut(&id).expect("cached/resolved inode exists") {
+                    Inode::File { sealed, .. } => {
+                        *sealed = true;
+                        Ok(())
+                    }
+                    Inode::Directory { .. } => Err(NsError::IsDirectory(path.clone())),
+                }
+            }
+            Txn::SetPerm { path, perm } => {
+                let id = self.resolve_node(tree, path)?;
+                tree.inodes.get_mut(&id).expect("cached/resolved inode exists").set_perm(*perm);
+                Ok(())
+            }
+        }
+    }
+
+    fn remember_dir(&mut self, path: &str, id: InodeId) {
+        self.dir.clear();
+        self.dir.push_str(path);
+        self.dir_id = id;
+        self.dir_valid = true;
+    }
+
+    fn remember_node(&mut self, path: &str, id: InodeId) {
+        self.node.clear();
+        self.node.push_str(path);
+        self.node_id = id;
+        self.node_valid = true;
+    }
+
+    /// Split `path` and resolve its parent directory, via the cache when
+    /// the previous record touched the same directory.
+    fn parent_of<'p>(
+        &mut self,
+        tree: &NamespaceTree,
+        path: &'p str,
+    ) -> Result<(InodeId, &'p str), NsError> {
+        let (dir, name) = path::split(path).ok_or(NsError::RootImmutable)?;
+        if name.is_empty() {
+            // Validate-skip still rejects the shapes that would corrupt the
+            // tree (a trailing slash would attach an empty component).
+            return Err(NsError::Invalid(PathError(format!("{path:?} has a trailing slash"))));
+        }
+        if self.dir_valid && self.dir == dir {
+            return Ok((self.dir_id, name));
+        }
+        let pid = tree.resolve(dir).ok_or_else(|| NsError::ParentNotFound(path.to_string()))?;
+        // A file id is cached as-is: `attach_child` and the child lookups
+        // classify it as ParentNotDirectory/NotFound exactly like a walk.
+        self.remember_dir(dir, pid);
+        Ok((pid, name))
+    }
+
+    /// Resolve a full path to its inode, via the node/dir caches when the
+    /// previous records touched the same file or directory.
+    fn resolve_node(&mut self, tree: &NamespaceTree, path: &str) -> Result<InodeId, NsError> {
+        if path == "/" {
+            return Ok(ROOT_ID);
+        }
+        if self.node_valid && self.node == path {
+            return Ok(self.node_id);
+        }
+        if self.dir_valid && self.dir == path {
+            return Ok(self.dir_id);
+        }
+        let (pid, name) = self.parent_of(tree, path)?;
+        let id = match tree.inodes.get(&pid) {
+            Some(Inode::Directory { children, .. }) => {
+                children.get(name).copied().ok_or_else(|| NsError::NotFound(path.to_string()))?
+            }
+            _ => return Err(NsError::NotFound(path.to_string())),
+        };
+        self.remember_node(path, id);
+        Ok(id)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -746,6 +922,87 @@ mod tests {
         }
         assert_eq!(direct.fingerprint(), replayed.fingerprint());
         assert_eq!(replayed.divergences(), 0);
+    }
+
+    #[test]
+    fn replay_session_matches_naive_apply() {
+        let workload = [
+            Txn::Mkdir { path: "/a".into() },
+            Txn::Mkdir { path: "/a/b".into() },
+            Txn::Create { path: "/a/b/f0".into(), replication: 3 },
+            Txn::AddBlock { path: "/a/b/f0".into(), block_id: 1, len: 64 },
+            Txn::AddBlock { path: "/a/b/f0".into(), block_id: 2, len: 64 },
+            Txn::CloseFile { path: "/a/b/f0".into() },
+            Txn::Create { path: "/a/b/f1".into(), replication: 2 },
+            Txn::SetPerm { path: "/a/b".into(), perm: 0o750 },
+            Txn::SetPerm { path: "/".into(), perm: 0o711 },
+            Txn::Rename { src: "/a/b/f1".into(), dst: "/a/g".into() },
+            Txn::Delete { path: "/a/b/f0".into(), recursive: false },
+            Txn::Create { path: "/a/b/f2".into(), replication: 1 },
+        ];
+        let mut naive = NamespaceTree::new();
+        let mut fast = NamespaceTree::new();
+        let mut session = ReplaySession::new();
+        for txn in &workload {
+            naive.apply(txn).unwrap();
+            session.apply(&mut fast, txn).unwrap();
+        }
+        assert_eq!(naive.fingerprint(), fast.fingerprint());
+        assert_eq!(naive.num_files(), fast.num_files());
+        assert_eq!(naive.num_dirs(), fast.num_dirs());
+    }
+
+    #[test]
+    fn replay_session_rename_invalidates_cached_parent() {
+        // The session resolves `/d` once, then the directory moves out from
+        // under the cache; the next create must not attach under the old
+        // location.
+        let txns = [
+            Txn::Mkdir { path: "/d".into() },
+            Txn::Mkdir { path: "/e".into() },
+            Txn::Create { path: "/d/f".into(), replication: 1 },
+            Txn::Rename { src: "/d".into(), dst: "/e/d2".into() },
+            Txn::Create { path: "/e/d2/g".into(), replication: 1 },
+        ];
+        let mut naive = NamespaceTree::new();
+        let mut fast = NamespaceTree::new();
+        let mut session = ReplaySession::new();
+        for txn in &txns {
+            naive.apply(txn).unwrap();
+            session.apply(&mut fast, txn).unwrap();
+        }
+        // A create into the *old* path must now fail in both.
+        let stale = Txn::Create { path: "/d/h".into(), replication: 1 };
+        assert!(naive.apply(&stale).is_err());
+        assert!(session.apply(&mut fast, &stale).is_err());
+        assert_eq!(naive.fingerprint(), fast.fingerprint());
+    }
+
+    #[test]
+    fn replay_session_delete_invalidates_cached_file() {
+        let mut fast = NamespaceTree::new();
+        let mut session = ReplaySession::new();
+        session.apply(&mut fast, &Txn::Mkdir { path: "/x".into() }).unwrap();
+        session.apply(&mut fast, &Txn::Create { path: "/x/f".into(), replication: 1 }).unwrap();
+        session
+            .apply(&mut fast, &Txn::AddBlock { path: "/x/f".into(), block_id: 9, len: 1 })
+            .unwrap();
+        session.apply(&mut fast, &Txn::Delete { path: "/x/f".into(), recursive: false }).unwrap();
+        // The node cache was dropped: a stale AddBlock fails instead of
+        // resurrecting the deleted inode.
+        let err = session
+            .apply(&mut fast, &Txn::AddBlock { path: "/x/f".into(), block_id: 10, len: 1 })
+            .unwrap_err();
+        assert_eq!(err, NsError::NotFound("/x/f".into()));
+    }
+
+    #[test]
+    fn replay_session_rejects_malformed_shapes() {
+        let mut t = NamespaceTree::new();
+        let mut s = ReplaySession::new();
+        assert!(s.apply(&mut t, &Txn::Create { path: "/".into(), replication: 1 }).is_err());
+        assert!(s.apply(&mut t, &Txn::Mkdir { path: "/a/".into() }).is_err());
+        assert!(s.apply(&mut t, &Txn::Delete { path: "/".into(), recursive: true }).is_err());
     }
 
     #[test]

@@ -108,6 +108,25 @@ proptest! {
     }
 }
 
+// ------------------------------------------- journal wire format v1/v2
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The legacy length-prefixed v1 wire form and the varint +
+    /// prefix-compressed v2 form of the same batch decode to identical
+    /// records through the one version-dispatching entry point.
+    #[test]
+    fn journal_v1_and_v2_wire_decode_agree(batch in arb_batch(5)) {
+        let v1 = mams::journal::encode_batch_v1(&batch);
+        let v2 = encode_batch(&batch);
+        let from_v1 = decode_batch(v1).expect("v1 decodes");
+        let from_v2 = decode_batch(v2).expect("v2 decodes");
+        prop_assert_eq!(&from_v1, &batch);
+        prop_assert_eq!(&from_v2, &batch);
+    }
+}
+
 // ---------------------------------------------------- replay determinism
 
 proptest! {
@@ -312,6 +331,35 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+// ------------------------------------------------- replay session parity
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The validate-skip `ReplaySession` fast path must land on exactly the
+    /// state a naive per-record `apply` produces, across histories whose
+    /// renames and deletes relocate or remove the cached directories.
+    #[test]
+    fn replay_session_matches_naive_apply(ops in prop::collection::vec(arb_txn(), 1..150)) {
+        let mut live = NamespaceTree::new();
+        let journaled = apply_random_ops(&mut live, &ops);
+
+        let mut naive = NamespaceTree::new();
+        for t in &journaled {
+            naive.apply(t).expect("journaled txns always replay");
+        }
+
+        let mut fast = NamespaceTree::new();
+        let mut session = mams::namespace::ReplaySession::new();
+        for t in &journaled {
+            session.apply(&mut fast, t).expect("journaled txns replay via the session");
+        }
+        prop_assert_eq!(fast.fingerprint(), naive.fingerprint());
+        prop_assert_eq!(fast.num_files(), naive.num_files());
+        prop_assert_eq!(fast.num_dirs(), naive.num_dirs());
     }
 }
 
