@@ -54,33 +54,29 @@ fn main() {
     });
     let b = run_test("Test B: network wires out/in", |sim, d| {
         let m = d.groups[0].members.clone();
+        let rest_of = |sim: &Sim, side: &[mams_sim::NodeId]| -> Vec<mams_sim::NodeId> {
+            (0..sim.num_nodes() as mams_sim::NodeId).filter(|n| !side.contains(n)).collect()
+        };
         // First: two backup nodes unplugged, then replugged.
-        sim.at(SimTime(20_000_000), {
-            let m = m.clone();
-            move |s| {
-                s.net_mut().isolate(m[2]);
-                s.net_mut().isolate(m[3]);
-            }
-        });
-        sim.at(SimTime(40_000_000), {
-            let m = m.clone();
-            move |s| {
-                s.net_mut().rejoin(m[2]);
-                s.net_mut().rejoin(m[3]);
-            }
-        });
+        let side = vec![m[2], m[3]];
+        let rest = rest_of(sim, &side);
+        mams_cluster::faults::schedule_partition(
+            sim,
+            side,
+            rest,
+            SimTime(20_000_000),
+            Some(Duration::from_secs(20)),
+        );
         // Then: the active and one standby.
-        sim.at(SimTime(90_000_000), {
-            let m = m.clone();
-            move |s| {
-                s.net_mut().isolate(m[0]);
-                s.net_mut().isolate(m[1]);
-            }
-        });
-        sim.at(SimTime(110_000_000), move |s| {
-            s.net_mut().rejoin(m[0]);
-            s.net_mut().rejoin(m[1]);
-        });
+        let side = vec![m[0], m[1]];
+        let rest = rest_of(sim, &side);
+        mams_cluster::faults::schedule_partition(
+            sim,
+            side,
+            rest,
+            SimTime(90_000_000),
+            Some(Duration::from_secs(20)),
+        );
     });
     let c = run_test("Test C: processes shut down and restarted", |sim, d| {
         crash_current_active_at(sim, SimTime(20_000_000), Duration::from_secs(15));

@@ -188,8 +188,7 @@ pub fn expire_current_active_at(sim: &mut Sim, coord: NodeId, at: SimTime) {
 pub fn unplug_current_active_at(sim: &mut Sim, at: SimTime, down: Duration) {
     sim.at(at, move |s| {
         if let Some(victim) = current_active(s) {
-            s.net_mut().isolate(victim);
-            s.after(down, move |s2| s2.net_mut().rejoin(victim));
+            mams_cluster::faults::schedule_unplug(s, victim, s.now(), down);
         }
     });
 }

@@ -1,0 +1,430 @@
+//! Declarative fault scenarios.
+//!
+//! A [`Scenario`] is a cluster shape + a contended workload + a *fault
+//! program*: a list of timed [`FaultAction`]s over symbolic [`NodeRef`]s.
+//! Programs are data, not code — the engine compiles them onto the
+//! simulator's control hooks at run time, which is what makes failing
+//! programs shrinkable (drop an action, rerun) and reportable (print the
+//! minimal witness).
+//!
+//! Node references are symbolic (`Active { group }`, `BackupOf { group }`)
+//! because the interesting nodes move: by the time the second fault of a
+//! program fires, the active may be two failovers away from where it
+//! started. References resolve against the live view trace when the action
+//! fires.
+
+use mams_core::MdsTiming;
+use mams_sim::{DetRng, Duration, NodeId};
+
+/// A symbolic node reference, resolved when the action fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRef {
+    /// The coordination server.
+    Coord,
+    /// The `i`-th shared-storage-pool node.
+    Pool(usize),
+    /// A replica-group member by boot index (0 = boot active).
+    Member { group: u32, idx: usize },
+    /// Whoever the view says is the group's active *right now*.
+    Active { group: u32 },
+    /// The first group member that is currently *not* the active (a hot
+    /// standby if any is up, else a junior).
+    BackupOf { group: u32 },
+}
+
+/// One timed fault. Times are relative to scenario start.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Kill the node (state lost; restartable).
+    Crash(NodeRef),
+    /// Bring a previously crashed node back.
+    Restart(NodeRef),
+    /// Freeze the process without killing it (gray failure: a zombie that
+    /// later resumes believing it still holds its old role).
+    Pause(NodeRef),
+    Resume(NodeRef),
+    /// Cut every link between the two sides (both directions).
+    Partition {
+        a: Vec<NodeRef>,
+        b: Vec<NodeRef>,
+        heal_ms: Option<u64>,
+    },
+    /// Cut only `from → to` (asymmetric partition: acks flow, data does
+    /// not).
+    OneWay {
+        from: Vec<NodeRef>,
+        to: Vec<NodeRef>,
+        heal_ms: Option<u64>,
+    },
+    /// Multiply every delivery latency on links touching the node
+    /// (gray-slow node, not dead — heartbeats still arrive, late).
+    SlowNode {
+        node: NodeRef,
+        factor: f64,
+        clear_ms: Option<u64>,
+    },
+    /// Shape one link: latency factor plus independent loss probability.
+    ShapeLink {
+        a: NodeRef,
+        b: NodeRef,
+        factor: f64,
+        loss: f64,
+        clear_ms: Option<u64>,
+    },
+    /// Network-wide independent message loss.
+    GlobalLoss(f64),
+    /// Network-wide independent message duplication.
+    GlobalDup(f64),
+    /// Run the node's timers at `factor` speed (clock skew; 1.0 = clear).
+    ClockSkew {
+        node: NodeRef,
+        factor: f64,
+    },
+    /// Flip a byte in the group's checkpoint image in the shared pool
+    /// (silent storage corruption mid-catch-up).
+    CorruptImage {
+        group: u32,
+    },
+    /// Heal all cuts, clear all shapes, zero global loss/dup.
+    ClearNetwork,
+}
+
+/// A fault at a time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultAction {
+    /// Milliseconds after scenario start.
+    pub at_ms: u64,
+    pub kind: FaultKind,
+}
+
+impl FaultAction {
+    pub fn at(at_ms: u64, kind: FaultKind) -> Self {
+        FaultAction { at_ms, kind }
+    }
+}
+
+/// A complete declarative scenario.
+#[derive(Clone)]
+pub struct Scenario {
+    pub name: &'static str,
+    pub about: &'static str,
+    /// Replica groups (actives).
+    pub groups: u32,
+    /// Hot standbys per group.
+    pub standbys: usize,
+    /// Cold juniors per group.
+    pub juniors: usize,
+    /// Closed-loop clients, all hammering the same key set.
+    pub clients: u32,
+    /// Contended keys (paths `/hot/fK` + `/hot/gK`).
+    pub keys: u64,
+    /// Per-client pause between operations (bounds history size while the
+    /// fault window stays covered).
+    pub think_ms: u64,
+    /// Main phase length; cleanup + grace follow.
+    pub run_secs: u64,
+    /// Timing overrides (e.g. fast checkpoints for image scenarios).
+    pub tune: fn(MdsTiming) -> MdsTiming,
+    /// The fault program, seeded so each campaign seed jitters times.
+    pub faults: fn(&mut DetRng) -> Vec<FaultAction>,
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("name", &self.name)
+            .field("groups", &self.groups)
+            .field("standbys", &self.standbys)
+            .field("juniors", &self.juniors)
+            .field("clients", &self.clients)
+            .field("run_secs", &self.run_secs)
+            .finish()
+    }
+}
+
+fn base(name: &'static str, about: &'static str) -> Scenario {
+    Scenario {
+        name,
+        about,
+        groups: 1,
+        standbys: 2,
+        juniors: 0,
+        clients: 4,
+        keys: 6,
+        think_ms: 40,
+        run_secs: 50,
+        tune: |t| t,
+        faults: |_| Vec::new(),
+    }
+}
+
+/// Jitter `base_ms` by up to ±`spread_ms` (seeded).
+fn jitter(rng: &mut DetRng, base_ms: u64, spread_ms: u64) -> u64 {
+    (base_ms + rng.below(2 * spread_ms + 1)).saturating_sub(spread_ms)
+}
+
+const A0: NodeRef = NodeRef::Active { group: 0 };
+const B0: NodeRef = NodeRef::BackupOf { group: 0 };
+
+/// The built-in scenario corpus, in rough order of severity.
+pub fn corpus() -> Vec<Scenario> {
+    let mut v = Vec::new();
+
+    v.push(Scenario {
+        about: "crash the active mid-load, restart it later, crash the \
+                successor too",
+        faults: |r| {
+            let t1 = jitter(r, 10_000, 3_000);
+            let t2 = jitter(r, 30_000, 4_000);
+            vec![
+                FaultAction::at(t1, FaultKind::Crash(A0)),
+                FaultAction::at(
+                    t1 + 12_000,
+                    FaultKind::Restart(NodeRef::Member { group: 0, idx: 0 }),
+                ),
+                FaultAction::at(t2, FaultKind::Crash(A0)),
+                FaultAction::at(
+                    t2 + 12_000,
+                    FaultKind::Restart(NodeRef::Member { group: 0, idx: 1 }),
+                ),
+            ]
+        },
+        ..base("failover_crash", "")
+    });
+
+    v.push(Scenario {
+        about: "partition the active away from everyone during load; heal; \
+                repeat against the successor",
+        faults: |r| {
+            let t1 = jitter(r, 10_000, 3_000);
+            let t2 = jitter(r, 32_000, 4_000);
+            let everyone =
+                vec![NodeRef::Coord, NodeRef::Pool(0), NodeRef::Pool(1), NodeRef::Pool(2), B0];
+            vec![
+                FaultAction::at(
+                    t1,
+                    FaultKind::Partition {
+                        a: vec![A0],
+                        b: everyone.clone(),
+                        heal_ms: Some(10_000),
+                    },
+                ),
+                FaultAction::at(
+                    t2,
+                    FaultKind::Partition { a: vec![A0], b: everyone, heal_ms: Some(10_000) },
+                ),
+            ]
+        },
+        ..base("failover_partition", "")
+    });
+
+    v.push(Scenario {
+        about: "a standby turns gray-slow (25x latency), then the active \
+                dies and failover must work around or through it",
+        faults: |r| {
+            let t1 = jitter(r, 6_000, 2_000);
+            vec![
+                FaultAction::at(
+                    t1,
+                    FaultKind::SlowNode { node: B0, factor: 25.0, clear_ms: Some(30_000) },
+                ),
+                FaultAction::at(t1 + 8_000, FaultKind::Crash(A0)),
+                FaultAction::at(
+                    t1 + 22_000,
+                    FaultKind::Restart(NodeRef::Member { group: 0, idx: 0 }),
+                ),
+            ]
+        },
+        ..base("gray_slow_standby", "")
+    });
+
+    v.push(Scenario {
+        about: "sustained 15% loss + 5% duplication network-wide, across a \
+                failover",
+        faults: |r| {
+            let t1 = jitter(r, 5_000, 2_000);
+            vec![
+                FaultAction::at(t1, FaultKind::GlobalLoss(0.15)),
+                FaultAction::at(t1, FaultKind::GlobalDup(0.05)),
+                FaultAction::at(jitter(r, 18_000, 3_000), FaultKind::Crash(A0)),
+                FaultAction::at(40_000, FaultKind::ClearNetwork),
+                FaultAction::at(41_000, FaultKind::Restart(NodeRef::Member { group: 0, idx: 0 })),
+            ]
+        },
+        ..base("flaky_network", "")
+    });
+
+    v.push(Scenario {
+        about: "one-way partition: the active can send to the coordinator \
+                but hears nothing back (asymmetric gray link)",
+        faults: |r| {
+            let t1 = jitter(r, 9_000, 3_000);
+            vec![
+                FaultAction::at(
+                    t1,
+                    FaultKind::OneWay {
+                        from: vec![NodeRef::Coord],
+                        to: vec![A0],
+                        heal_ms: Some(12_000),
+                    },
+                ),
+                FaultAction::at(t1 + 20_000, FaultKind::Crash(A0)),
+                FaultAction::at(
+                    t1 + 32_000,
+                    FaultKind::Restart(NodeRef::Member { group: 0, idx: 0 }),
+                ),
+            ]
+        },
+        ..base("one_way_partition", "")
+    });
+
+    v.push(Scenario {
+        about: "freeze the active (zombie), let a successor take over, then \
+                thaw the zombie — fencing must hold against its stale epoch",
+        faults: |r| {
+            let t1 = jitter(r, 10_000, 3_000);
+            vec![
+                FaultAction::at(t1, FaultKind::Pause(A0)),
+                FaultAction::at(
+                    t1 + 15_000,
+                    FaultKind::Resume(NodeRef::Member { group: 0, idx: 0 }),
+                ),
+            ]
+        },
+        ..base("pause_active", "")
+    });
+
+    v.push(Scenario {
+        juniors: 1,
+        tune: |mut t| {
+            // Push juniors onto the image path and checkpoint often so a
+            // corrupted image is eventually replaced by a fresh one.
+            t.renew_image_gap = 64;
+            t.checkpoint_interval = Some(Duration::from_secs(8));
+            t
+        },
+        about: "flip a byte in the checkpoint image while a junior is \
+                catching up from it; the decoder must reject the damage and \
+                recovery must ride the next checkpoint",
+        faults: |r| {
+            let t1 = jitter(r, 12_000, 3_000);
+            vec![
+                FaultAction::at(t1, FaultKind::CorruptImage { group: 0 }),
+                FaultAction::at(t1 + 9_000, FaultKind::Crash(A0)),
+                FaultAction::at(
+                    t1 + 21_000,
+                    FaultKind::Restart(NodeRef::Member { group: 0, idx: 0 }),
+                ),
+            ]
+        },
+        ..base("corrupt_catchup", "")
+    });
+
+    v.push(Scenario {
+        about: "run the active's clock 3x fast and a standby's 3x slow \
+                across a failover (timers fire out of mutual order)",
+        faults: |r| {
+            let t1 = jitter(r, 6_000, 2_000);
+            vec![
+                FaultAction::at(t1, FaultKind::ClockSkew { node: A0, factor: 3.0 }),
+                FaultAction::at(t1, FaultKind::ClockSkew { node: B0, factor: 0.33 }),
+                FaultAction::at(t1 + 10_000, FaultKind::Crash(A0)),
+                FaultAction::at(
+                    t1 + 24_000,
+                    FaultKind::Restart(NodeRef::Member { group: 0, idx: 0 }),
+                ),
+            ]
+        },
+        ..base("clock_skew", "")
+    });
+
+    v.push(Scenario {
+        clients: 6,
+        keys: 3,
+        run_secs: 60,
+        about: "maximum rename contention on 3 keys while the active \
+                crashes twice — exercises retry reconciliation and the \
+                at-most-once hole across failovers",
+        faults: |r| {
+            let t1 = jitter(r, 12_000, 3_000);
+            let t2 = jitter(r, 38_000, 4_000);
+            vec![
+                FaultAction::at(t1, FaultKind::Crash(A0)),
+                FaultAction::at(
+                    t1 + 10_000,
+                    FaultKind::Restart(NodeRef::Member { group: 0, idx: 0 }),
+                ),
+                FaultAction::at(t2, FaultKind::Crash(A0)),
+                FaultAction::at(
+                    t2 + 10_000,
+                    FaultKind::Restart(NodeRef::Member { group: 0, idx: 1 }),
+                ),
+            ]
+        },
+        ..base("rename_storm_crash", "")
+    });
+
+    v
+}
+
+/// The fault-free scenario used with the deliberate double-ack injection:
+/// with no retries there are no echo entries, so the checker's verdict is
+/// deterministic — any fake ack must surface as a violation.
+pub fn quiet() -> Scenario {
+    Scenario {
+        clients: 3,
+        keys: 2,
+        think_ms: 30,
+        run_secs: 20,
+        about: "no faults; used to prove the checker catches an injected \
+                double-ack bug",
+        ..base("quiet", "")
+    }
+}
+
+/// Look up a corpus scenario (or the teeth scenario) by name.
+pub fn by_name(name: &str) -> Option<Scenario> {
+    if name == "quiet" {
+        return Some(quiet());
+    }
+    corpus().into_iter().find(|s| s.name == name)
+}
+
+/// Nodes a [`NodeRef`] may resolve to, captured at build time.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    pub coord: NodeId,
+    pub pool: Vec<NodeId>,
+    /// Per group: member node ids in boot order.
+    pub groups: Vec<Vec<NodeId>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_named_and_findable() {
+        let all = corpus();
+        assert!(all.len() >= 8);
+        for s in &all {
+            assert!(!s.name.is_empty() && !s.about.is_empty());
+            assert!(by_name(s.name).is_some(), "{} must round-trip", s.name);
+            let mut r = DetRng::seed_from_u64(7);
+            let prog = (s.faults)(&mut r);
+            assert!(prog.iter().all(|a| a.at_ms < s.run_secs * 1_000), "{}", s.name);
+        }
+        assert!(by_name("quiet").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn fault_programs_jitter_by_seed() {
+        let s = by_name("failover_crash").unwrap();
+        let p1 = (s.faults)(&mut DetRng::seed_from_u64(1));
+        let p2 = (s.faults)(&mut DetRng::seed_from_u64(2));
+        assert_ne!(p1, p2, "seeds must vary the program");
+        let p1b = (s.faults)(&mut DetRng::seed_from_u64(1));
+        assert_eq!(p1, p1b, "same seed, same program");
+    }
+}

@@ -11,17 +11,29 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use mams_coord::{CoordEvent, CoordReq, CoordResp};
-use mams_core::{FsOp, MdsReq, MdsResp};
+use mams_core::{FsOp, MdsReq, MdsResp, OpOutput};
 use mams_namespace::Partitioner;
 use mams_sim::{Ctx, DetRng, Duration, Message, Node, NodeId, SimTime};
 
+use crate::history::Recorder;
 use crate::metrics::Metrics;
 use crate::workload::Workload;
 
 const T_START: u64 = 1;
+const T_NEXT: u64 = 2;
 /// Operation timers use the op's seq as token; seqs start above the control
 /// token range.
 const SEQ_BASE: u64 = 1_000;
+
+/// Retry timers are scoped to `(seq, attempt)`: a firing only acts if the
+/// op is still outstanding *on that same attempt*. Without the attempt
+/// scope, a fast retry (NotActive backoff) and the per-attempt timeout both
+/// stay armed for the same op, and each firing re-arms both — under a
+/// persistently unavailable group the live timer chains double on every
+/// round and the client melts down in an exponential retry storm.
+fn op_token(seq: u64, attempts: u32) -> u64 {
+    (seq << 20) | u64::from(attempts & 0xF_FFFF)
+}
 
 /// Client tuning.
 #[derive(Debug, Clone)]
@@ -34,6 +46,13 @@ pub struct ClientConfig {
     pub start_delay: Duration,
     /// Stop after this many completed operations (`None` = run forever).
     pub max_ops: Option<u64>,
+    /// Pause between a completion and the next operation (zero = closed
+    /// loop at full speed). Chaos runs use this to pace bounded histories
+    /// across long fault windows.
+    pub think: Duration,
+    /// When set, every operation's invocation/completion is logged for
+    /// linearizability checking.
+    pub history: Option<Recorder>,
 }
 
 impl ClientConfig {
@@ -44,6 +63,8 @@ impl ClientConfig {
             op_timeout: Duration::from_millis(1_000),
             start_delay: Duration::from_millis(500),
             max_ops: None,
+            think: Duration::ZERO,
+            history: None,
         }
     }
 }
@@ -57,6 +78,8 @@ struct Outstanding {
     group: u32,
     /// The private-directory setup mkdir (idempotent by construction).
     is_setup: bool,
+    /// Index of this op's record in the history log, when recording.
+    rec: Option<usize>,
 }
 
 /// A closed-loop client (one outstanding operation).
@@ -126,6 +149,11 @@ impl FsClient {
         };
         self.seq += 1;
         let group = self.cfg.partitioner.owner(op.primary_path());
+        let rec = self
+            .cfg
+            .history
+            .as_ref()
+            .map(|h| h.log.invoke(h.client, op.clone(), is_setup, ctx.now().micros()));
         self.outstanding = Some(Outstanding {
             op,
             seq: self.seq,
@@ -133,15 +161,16 @@ impl FsClient {
             attempts: 0,
             group,
             is_setup,
+            rec,
         });
         self.attempt(ctx);
     }
 
     fn attempt(&mut self, ctx: &mut Ctx<'_>) {
-        let (seq, group, op) = match &mut self.outstanding {
+        let (seq, group, op, attempts) = match &mut self.outstanding {
             Some(o) => {
                 o.attempts += 1;
-                (o.seq, o.group, o.op.clone())
+                (o.seq, o.group, o.op.clone(), o.attempts)
             }
             None => return,
         };
@@ -153,7 +182,7 @@ impl FsClient {
                 self.refresh_view(ctx);
             }
         }
-        ctx.set_timer(self.cfg.op_timeout, seq);
+        ctx.set_timer(self.cfg.op_timeout, op_token(seq, attempts));
     }
 
     /// A retried mutation may hit the result of its own earlier, half-acked
@@ -167,11 +196,18 @@ impl FsClient {
         }
     }
 
-    fn finish(&mut self, ctx: &mut Ctx<'_>, ok: bool) {
+    fn finish(&mut self, ctx: &mut Ctx<'_>, ok: bool, result: &Result<OpOutput, String>) {
         let o = self.outstanding.take().expect("outstanding op");
         self.metrics.record(o.issued, ctx.now(), ok);
+        if let (Some(idx), Some(h)) = (o.rec, self.cfg.history.as_ref()) {
+            h.log.complete(idx, ctx.now().micros(), result, ok, o.attempts);
+        }
         self.completed += 1;
-        self.issue_next(ctx);
+        if self.cfg.think > Duration::ZERO {
+            ctx.set_timer(self.cfg.think, T_NEXT);
+        } else {
+            self.issue_next(ctx);
+        }
     }
 }
 
@@ -183,14 +219,21 @@ impl Node for FsClient {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
-        if token == T_START {
+        if token == T_START || token == T_NEXT {
             self.issue_next(ctx);
             return;
         }
-        // Per-op timeout: if the op is still outstanding, re-resolve the
-        // active and resend with the same seq (server-side duplicate
-        // suppression makes this safe).
-        if self.outstanding.as_ref().is_some_and(|o| o.seq == token) {
+        // Per-op timeout: if the op is still outstanding *on the attempt
+        // this timer belongs to*, re-resolve the active and resend with the
+        // same seq (server-side duplicate suppression makes this safe).
+        // Timers for superseded attempts are inert, so at most one retry
+        // chain is ever live per op.
+        let (seq, attempt) = (token >> 20, (token & 0xF_FFFF) as u32);
+        if self
+            .outstanding
+            .as_ref()
+            .is_some_and(|o| o.seq == seq && o.attempts & 0xF_FFFF == attempt)
+        {
             self.refresh_view(ctx);
             self.attempt(ctx);
         }
@@ -225,14 +268,18 @@ impl Node for FsClient {
                                 let op = self.outstanding.as_ref().map(|o| format!("{:?}", o.op));
                                 ctx.trace("client.op_failed", || format!("{op:?}: {err}"));
                             }
-                            self.finish(ctx, ok);
+                            self.finish(ctx, ok, &result);
                         }
                     }
                     MdsResp::NotActive { seq } => {
-                        if self.outstanding.as_ref().is_some_and(|o| o.seq == seq) {
-                            // Stale routing: refresh and retry shortly.
+                        if let Some(o) = self.outstanding.as_ref().filter(|o| o.seq == seq) {
+                            // Stale routing: refresh and retry shortly. The
+                            // fast timer shares the current attempt's token,
+                            // so whichever of it and the full timeout fires
+                            // first supersedes the other.
+                            let token = op_token(seq, o.attempts);
                             self.refresh_view(ctx);
-                            ctx.set_timer(Duration::from_millis(50), seq);
+                            ctx.set_timer(Duration::from_millis(50), token);
                         }
                     }
                 }

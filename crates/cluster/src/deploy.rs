@@ -205,6 +205,22 @@ impl Deployment {
         self.client_count
     }
 
+    /// Like [`Deployment::add_client`], but every operation is logged into
+    /// `history` for linearizability checking.
+    pub fn add_client_recorded(
+        &mut self,
+        sim: &mut Sim,
+        workload: Workload,
+        metrics: Arc<Metrics>,
+        history: Arc<crate::history::History>,
+    ) -> NodeId {
+        let client = self.next_client_id();
+        self.add_client_with(sim, workload, metrics, move |mut cfg| {
+            cfg.history = Some(crate::history::Recorder { client, log: history });
+            cfg
+        })
+    }
+
     /// Dynamically add a backup node to a running replica group (the
     /// paper's "supports dynamically adding backup nodes at runtime"): the
     /// node boots as a junior, registers with the active, and is upgraded

@@ -1,17 +1,23 @@
-//! Fault injection: the paper's three error classes.
+//! Fault injection: the paper's three error classes, plus the gray-failure
+//! vocabulary the chaos campaigns compose from.
 //!
 //! * **Test A** — "modifying the global view to make the active lose the
 //!   lock": [`schedule_lock_loss`] force-expires the victim's coordination
 //!   session.
 //! * **Test B** — "unplugging and reconnecting network wires":
 //!   [`schedule_unplug`] isolates a node's NIC for a while, then plugs it
-//!   back.
+//!   back; [`schedule_partition`] cuts between two named sides, and
+//!   [`schedule_one_way_partition`] cuts only one direction (asymmetric
+//!   gray failure).
 //! * **Test C** — "shutting down and restarting processes":
 //!   [`schedule_crash`] / [`schedule_restart`] (fresh in-memory state on
 //!   restart, like a real process).
+//! * **Gray failures** — [`schedule_slow_link`] / [`schedule_slow_node`]
+//!   stretch latency without severing connectivity; [`schedule_loss`]
+//!   drops a fraction of messages on a link.
 
 use mams_coord::CoordReq;
-use mams_sim::{Duration, NodeId, Sim, SimTime};
+use mams_sim::{Duration, LinkShape, NodeId, Sim, SimTime};
 
 /// Kill a process at `at`.
 pub fn schedule_crash(sim: &mut Sim, node: NodeId, at: SimTime) {
@@ -40,6 +46,118 @@ pub fn schedule_lock_loss(sim: &mut Sim, coord: NodeId, victim: NodeId, at: SimT
     sim.at(at, move |s| {
         s.send_external(coord, CoordReq::ForceExpire { victim });
     });
+}
+
+/// Cut every link between `side_a` and `side_b` at `at` (both directions);
+/// heal the same links after `heal_after`, when given. Nodes outside both
+/// sides keep full connectivity — this is a *named-sides* partition, unlike
+/// [`schedule_unplug`]'s node-vs-world isolation.
+pub fn schedule_partition(
+    sim: &mut Sim,
+    side_a: Vec<NodeId>,
+    side_b: Vec<NodeId>,
+    at: SimTime,
+    heal_after: Option<Duration>,
+) {
+    let (a2, b2) = (side_a.clone(), side_b.clone());
+    sim.at(at, move |s| {
+        for &a in &side_a {
+            for &b in &side_b {
+                s.net_mut().cut(a, b);
+            }
+        }
+    });
+    if let Some(d) = heal_after {
+        sim.at(at + d, move |s| {
+            for &a in &a2 {
+                for &b in &b2 {
+                    s.net_mut().heal(a, b);
+                }
+            }
+        });
+    }
+}
+
+/// Asymmetric partition: messages from any node in `from` to any node in
+/// `to` are dropped at `at`, while the reverse direction keeps flowing —
+/// the classic half-open gray failure. Heals after `heal_after` if given.
+pub fn schedule_one_way_partition(
+    sim: &mut Sim,
+    from: Vec<NodeId>,
+    to: Vec<NodeId>,
+    at: SimTime,
+    heal_after: Option<Duration>,
+) {
+    let (f2, t2) = (from.clone(), to.clone());
+    sim.at(at, move |s| {
+        for &f in &from {
+            for &t in &to {
+                s.net_mut().cut_one_way(f, t);
+            }
+        }
+    });
+    if let Some(d) = heal_after {
+        sim.at(at + d, move |s| {
+            for &f in &f2 {
+                for &t in &t2 {
+                    s.net_mut().heal_one_way(f, t);
+                }
+            }
+        });
+    }
+}
+
+/// Stretch the `a`↔`b` link's latency by `factor` at `at` (both directions,
+/// connectivity intact); restore after `for_dur` if given.
+pub fn schedule_slow_link(
+    sim: &mut Sim,
+    a: NodeId,
+    b: NodeId,
+    factor: f64,
+    at: SimTime,
+    for_dur: Option<Duration>,
+) {
+    sim.at(at, move |s| s.net_mut().shape_link(a, b, LinkShape::slow(factor)));
+    if let Some(d) = for_dur {
+        sim.at(at + d, move |s| {
+            s.net_mut().clear_link_shape(a, b);
+        });
+    }
+}
+
+/// Stretch every link touching `node` by `factor` at `at` (a gray-slow
+/// process: alive, heartbeating, but crawling); restore after `for_dur`.
+pub fn schedule_slow_node(
+    sim: &mut Sim,
+    node: NodeId,
+    factor: f64,
+    at: SimTime,
+    for_dur: Option<Duration>,
+) {
+    sim.at(at, move |s| s.net_mut().shape_node(node, LinkShape::slow(factor)));
+    if let Some(d) = for_dur {
+        sim.at(at + d, move |s| {
+            s.net_mut().clear_node_shape(node);
+        });
+    }
+}
+
+/// Drop each message on the `a`↔`b` link with probability `p` at `at`
+/// (both directions); restore after `for_dur` if given.
+pub fn schedule_loss(
+    sim: &mut Sim,
+    a: NodeId,
+    b: NodeId,
+    p: f64,
+    at: SimTime,
+    for_dur: Option<Duration>,
+) {
+    sim.at(at, move |s| s.net_mut().shape_link(a, b, LinkShape::lossy(p)));
+    if let Some(d) = for_dur {
+        sim.at(at + d, move |s| {
+            s.net_mut().clear_link_shape(a, b);
+        });
+    }
 }
 
 #[cfg(test)]
@@ -75,5 +193,45 @@ mod tests {
         assert!(!sim.net_mut().connected(a, b));
         sim.run_until(SimTime(2_100_000));
         assert!(sim.net_mut().connected(a, b));
+    }
+
+    #[test]
+    fn partition_cuts_only_between_named_sides() {
+        let mut sim = Sim::new(SimConfig::default());
+        let a = sim.add_node("a", Box::new(Idle));
+        let b = sim.add_node("b", Box::new(Idle));
+        let c = sim.add_node("c", Box::new(Idle));
+        schedule_partition(
+            &mut sim,
+            vec![a],
+            vec![b],
+            SimTime(1_000_000),
+            Some(Duration::from_secs(1)),
+        );
+        sim.run_until(SimTime(1_100_000));
+        assert!(!sim.net_mut().connected(a, b));
+        assert!(sim.net_mut().connected(a, c), "third parties unaffected");
+        assert!(sim.net_mut().connected(b, c));
+        sim.run_until(SimTime(2_100_000));
+        assert!(sim.net_mut().connected(a, b), "healed");
+    }
+
+    #[test]
+    fn one_way_partition_is_asymmetric() {
+        let mut sim = Sim::new(SimConfig::default());
+        let a = sim.add_node("a", Box::new(Idle));
+        let b = sim.add_node("b", Box::new(Idle));
+        schedule_one_way_partition(
+            &mut sim,
+            vec![a],
+            vec![b],
+            SimTime(1_000_000),
+            Some(Duration::from_secs(1)),
+        );
+        sim.run_until(SimTime(1_100_000));
+        assert!(!sim.net_mut().connected(a, b), "a→b cut");
+        assert!(sim.net_mut().connected(b, a), "b→a flows");
+        sim.run_until(SimTime(2_100_000));
+        assert!(sim.net_mut().connected(a, b), "healed");
     }
 }

@@ -14,6 +14,7 @@ pub mod client;
 pub mod datasrv;
 pub mod deploy;
 pub mod faults;
+pub mod history;
 pub mod metrics;
 pub mod mttr;
 pub mod workload;
@@ -21,6 +22,7 @@ pub mod workload;
 pub use client::{ClientConfig, FsClient};
 pub use datasrv::DataServer;
 pub use deploy::{DeploySpec, Deployment};
+pub use history::{History, OpRecord, Recorder};
 pub use metrics::{Completion, Metrics};
 pub use mttr::{mttr_from_completions, OutageStats};
 pub use workload::Workload;

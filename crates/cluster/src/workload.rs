@@ -24,6 +24,11 @@ pub enum Workload {
     Mixed { dir: String, files: u64, dirs: u64 },
     /// Figure 8's continuous create + regular mkdir blend.
     CreateMkdir { dir: String, next: u64 },
+    /// Contended chaos workload: every client hammers the *same* small key
+    /// set under `/hot` with conflicting creates, mkdirs, deletes, renames,
+    /// and reads — maximal cross-client interleavings for the
+    /// linearizability checker.
+    SharedHot { dir: String, keys: u64 },
     /// A fixed script (tests).
     Script { ops: Vec<FsOp>, cursor: usize },
 }
@@ -61,6 +66,12 @@ impl Workload {
         Workload::Script { ops, cursor: 0 }
     }
 
+    /// All clients share `/hot` and its `keys` contended names.
+    pub fn shared_hot(keys: u64) -> Self {
+        assert!(keys >= 1);
+        Workload::SharedHot { dir: "/hot".into(), keys }
+    }
+
     /// The client's private root that must exist before the stream starts.
     pub fn setup_dir(&self) -> Option<String> {
         match self {
@@ -70,7 +81,8 @@ impl Workload {
             | Workload::DeleteOnly { dir, .. }
             | Workload::RenameOnly { dir, .. }
             | Workload::Mixed { dir, .. }
-            | Workload::CreateMkdir { dir, .. } => Some(dir.clone()),
+            | Workload::CreateMkdir { dir, .. }
+            | Workload::SharedHot { dir, .. } => Some(dir.clone()),
             Workload::Script { .. } => None,
         }
     }
@@ -144,6 +156,23 @@ impl Workload {
                     Some(FsOp::Create { path: format!("{dir}/d{}/f{i}", i / 16), replication: 3 })
                 }
             }
+            Workload::SharedHot { dir, keys } => {
+                let k = rng.below(*keys);
+                let f = format!("{dir}/f{k}");
+                let g = format!("{dir}/g{k}");
+                // Mutation-heavy on purpose: conflicts ("already exists",
+                // "no such file") are legitimate outcomes the checker
+                // models, not workload errors.
+                Some(match rng.below(8) {
+                    0 | 1 => FsOp::Create { path: f, replication: 1 },
+                    2 => FsOp::Mkdir { path: f },
+                    3 => FsOp::Delete { path: f, recursive: false },
+                    4 => FsOp::Delete { path: g, recursive: false },
+                    5 => FsOp::Rename { src: f, dst: g },
+                    6 => FsOp::GetFileInfo { path: f },
+                    _ => FsOp::GetFileInfo { path: g },
+                })
+            }
             Workload::Script { ops, cursor } => {
                 if *cursor >= ops.len() {
                     None
@@ -211,6 +240,25 @@ mod tests {
             assert!(matches!(w.next_op(&mut r).unwrap(), FsOp::Create { .. }));
         }
         assert!(matches!(w.next_op(&mut r).unwrap(), FsOp::Mkdir { .. }));
+    }
+
+    #[test]
+    fn shared_hot_targets_the_contended_keyset() {
+        let mut w = Workload::shared_hot(4);
+        assert_eq!(w.setup_dir().as_deref(), Some("/hot"));
+        let mut r = rng();
+        let mut mutations = 0;
+        for _ in 0..200 {
+            let op = w.next_op(&mut r).unwrap();
+            let p = op.primary_path();
+            assert!(p.starts_with("/hot/f") || p.starts_with("/hot/g"), "{p}");
+            let key: u64 = p[6..].parse().unwrap();
+            assert!(key < 4);
+            if op.is_mutation() {
+                mutations += 1;
+            }
+        }
+        assert!(mutations > 100, "mutation-heavy mix, got {mutations}");
     }
 
     #[test]

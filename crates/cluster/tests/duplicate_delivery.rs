@@ -1,0 +1,112 @@
+//! Duplicate-delivery safety: a client resend of an already-applied (or
+//! still in-flight) mutation must never double-apply.
+//!
+//! The cluster client retries an op with the *same* seq after a timeout; if
+//! the first delivery was applied but the reply lost, the server must answer
+//! the retry from its per-client retry cache — the very same `Arc<MdsResp>`
+//! — and must not journal or execute the mutation a second time.
+
+use std::sync::{Arc, Mutex};
+
+use mams_cluster::deploy::{build, DeploySpec};
+use mams_cluster::metrics::Metrics;
+use mams_cluster::workload::Workload;
+use mams_core::{FsOp, MdsReq, MdsResp};
+use mams_sim::{Ctx, Duration, Message, Node, NodeId, Sim, SimConfig};
+
+const T_FIRST: u64 = 1;
+const T_RESEND: u64 = 2;
+
+/// Sends the same `MdsReq::Op` seq three times: twice back-to-back (an
+/// in-flight duplicate, e.g. a delayed network copy) and once again after
+/// the op has long completed (a client resend after a reply timeout).
+struct Resender {
+    active: NodeId,
+    replies: Arc<Mutex<Vec<Arc<MdsResp>>>>,
+}
+
+impl Resender {
+    fn op(&self) -> MdsReq {
+        MdsReq::Op { op: FsOp::Create { path: "/dup-target".into(), replication: 3 }, seq: 7 }
+    }
+}
+
+impl Node for Resender {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // Let the group elect its active first.
+        ctx.set_timer(Duration::from_secs(2), T_FIRST);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match token {
+            T_FIRST => {
+                // Original + immediate duplicate while the first is still
+                // in flight (ack waits for SSP durability, so the second
+                // delivery arrives well before completion).
+                ctx.send(self.active, self.op());
+                ctx.send(self.active, self.op());
+                ctx.set_timer(Duration::from_millis(500), T_RESEND);
+            }
+            T_RESEND => ctx.send(self.active, self.op()),
+            _ => {}
+        }
+    }
+
+    fn on_message(&mut self, _ctx: &mut Ctx<'_>, _from: NodeId, msg: Message) {
+        if let Ok(resp) = msg.downcast::<Arc<MdsResp>>() {
+            self.replies.lock().unwrap().push(resp);
+        }
+    }
+}
+
+#[test]
+fn duplicate_delivery_is_answered_from_cache_without_reapply() {
+    let mut s = Sim::new(SimConfig { seed: 42, ..SimConfig::default() });
+    let mut d = build(&mut s, DeploySpec { standbys_per_group: 2, ..DeploySpec::default() });
+    // Background traffic so the duplicate arrives into a working, busy
+    // active rather than an idle one.
+    let m = Metrics::new(false);
+    d.add_client(&mut s, Workload::create_only(0), m.clone());
+
+    let replies: Arc<Mutex<Vec<Arc<MdsResp>>>> = Arc::new(Mutex::new(Vec::new()));
+    let active = d.initial_active(0);
+    s.add_node("resender", Box::new(Resender { active, replies: replies.clone() }));
+    s.run_for(Duration::from_secs(10));
+
+    // The in-flight duplicate is suppressed outright (no second execution,
+    // no second reply); the post-completion resend is answered from the
+    // retry cache. So: exactly two replies, both successful, and both the
+    // *same allocation* — the cached `Arc` re-shipped, not a re-execution.
+    let replies = replies.lock().unwrap();
+    assert_eq!(replies.len(), 2, "one reply per distinct outcome, got {}", replies.len());
+    for r in replies.iter() {
+        match &**r {
+            MdsResp::Reply { seq: 7, result } => {
+                assert!(result.is_ok(), "duplicate create must not observe itself: {result:?}")
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert!(
+        Arc::ptr_eq(&replies[0], &replies[1]),
+        "retry must be served from the cache (identical Arc), not re-executed"
+    );
+
+    // No double-apply: the shared journal holds exactly one Create for the
+    // target path across all three deliveries.
+    let pool = d.shared_pool.lock();
+    let g = pool.group(0).expect("group 0 journal");
+    let mut creates = 0;
+    if let Some(batches) = g.read_journal(0, usize::MAX) {
+        for b in batches {
+            for r in &b.records {
+                if let mams_journal::Txn::Create { path, .. } = r {
+                    if path == "/dup-target" {
+                        creates += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(creates, 1, "the duplicated create was journaled {creates} times");
+}

@@ -121,9 +121,16 @@ impl CoordClient {
         req
     }
 
-    pub fn release_lock(&mut self, ctx: &mut Ctx<'_>, path: impl Into<String>) -> ReqId {
+    /// `epoch` must be the grant epoch being released; stale duplicates of
+    /// this request are ignored by the server (see [`CoordReq::ReleaseLock`]).
+    pub fn release_lock(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        path: impl Into<String>,
+        epoch: u64,
+    ) -> ReqId {
         let req = self.req();
-        ctx.send(self.coord, CoordReq::ReleaseLock { path: path.into(), req });
+        ctx.send(self.coord, CoordReq::ReleaseLock { path: path.into(), epoch, req });
         req
     }
 

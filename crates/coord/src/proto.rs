@@ -10,6 +10,10 @@ pub enum KeyOp {
     Set { key: String, value: String, ephemeral: bool },
     /// Delete `key` (no-op if absent).
     Delete { key: String },
+    /// Delete `key` only if it currently holds `value`. Cleanup writes from
+    /// a deposed active use this so a delayed or duplicated delete can never
+    /// clobber a successor's freshly published pointer.
+    DeleteIfValue { key: String, value: String },
 }
 
 /// Client → server requests.
@@ -29,8 +33,11 @@ pub enum CoordReq {
     Watch { prefix: String, req: ReqId },
     /// Try to take the lock at `path`. Grants carry a fencing epoch.
     AcquireLock { path: String, req: ReqId },
-    /// Release a held lock.
-    ReleaseLock { path: String, req: ReqId },
+    /// Release a held lock. `epoch` must match the grant being released:
+    /// a delayed or duplicated release from an earlier tenure carries a
+    /// stale epoch and must not free a lock the sender has since
+    /// re-acquired.
+    ReleaseLock { path: String, epoch: u64, req: ReqId },
     /// Deliberately drop the sender's session (Test A forces the active to
     /// lose the lock this way).
     Expire,

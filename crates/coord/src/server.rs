@@ -101,6 +101,13 @@ impl CoordServer {
                     self.fire_key_event(ctx, &key, None, by_expiry);
                 }
             }
+            KeyOp::DeleteIfValue { key, value } => {
+                if self.keys.get(&key).is_some_and(|e| e.value == value) {
+                    self.keys.remove(&key);
+                    ctx.trace("view.del", || key.clone());
+                    self.fire_key_event(ctx, &key, None, by_expiry);
+                }
+            }
         }
     }
 
@@ -175,6 +182,14 @@ impl Node for CoordServer {
             Ok(r) => r,
             Err(_) => return,
         };
+        // Any request from a session holder renews the session (ZooKeeper
+        // semantics). This keeps the expiry clock aligned with the client's
+        // own last-contact clock: the client hears our response a few
+        // milliseconds after we hear its request, so a self-fencing lease
+        // below `session_timeout` can never fire after our expiry.
+        if let Some(last) = self.sessions.get_mut(&from) {
+            *last = ctx.now();
+        }
         match req {
             CoordReq::Register => {
                 self.sessions.insert(from, ctx.now());
@@ -246,8 +261,13 @@ impl Node for CoordServer {
                     }
                 }
             }
-            CoordReq::ReleaseLock { path, req } => {
-                let is_holder = self.locks.get(&path).is_some_and(|l| l.holder == Some(from));
+            CoordReq::ReleaseLock { path, epoch, req } => {
+                // Epoch-fenced: a duplicated or delayed release from an
+                // earlier grant must not free a re-acquired lock.
+                let is_holder = self
+                    .locks
+                    .get(&path)
+                    .is_some_and(|l| l.holder == Some(from) && l.epoch == epoch);
                 if is_holder {
                     self.release_lock(ctx, &path, false);
                 }
@@ -340,7 +360,7 @@ mod tests {
                     (Duration::from_millis(10), CoordReq::AcquireLock { path: "L".into(), req: 1 }),
                     (
                         Duration::from_millis(500),
-                        CoordReq::ReleaseLock { path: "L".into(), req: 2 },
+                        CoordReq::ReleaseLock { path: "L".into(), epoch: 1, req: 2 },
                     ),
                 ],
                 heartbeats: true,

@@ -19,6 +19,12 @@ impl MdsServer {
             self.blocks.report(*server, blocks);
             return;
         }
+        // Lazy lease enforcement: a just-thawed zombie can receive queued
+        // client requests before its first timer tick — it must notice its
+        // lapsed session *now*, not a second from now.
+        if matches!(self.role, Role::Active | Role::Upgrading) {
+            self.check_coord_lease(ctx);
+        }
         match self.role {
             Role::Active => {}
             Role::Upgrading => {
@@ -54,11 +60,65 @@ impl MdsServer {
         if !op.is_mutation() {
             let result = self.exec_read(&op);
             let resp = std::sync::Arc::new(MdsResp::Reply { seq, result });
-            self.retry_cache.store(from, seq, resp.clone());
-            ctx.send(from, resp);
+            // Read barrier: the image may include mutations that are not
+            // yet durable in the SSP. Releasing the reply now would let
+            // the client observe state that can still be discarded — an
+            // isolated active throws its speculative suffix away when it
+            // degrades, so such a dirty read contradicts the successor's
+            // timeline. Hold the reply until everything the read could
+            // have observed has committed; on degradation the reply is
+            // dropped instead and the client retries against the new
+            // active. The read still linearizes at its execution point.
+            self.send_or_defer_observation(ctx, from, seq, resp);
+            return;
+        }
+        if self.cfg.timing.fault_double_ack {
+            if let FsOp::Delete { .. } = &op {
+                // Injected defect (chaos teeth test): acknowledge the
+                // delete as done without executing it.
+                let resp = std::sync::Arc::new(MdsResp::Reply { seq, result: Ok(OpOutput::Done) });
+                self.retry_cache.store(from, seq, resp.clone());
+                ctx.send(from, resp);
+                return;
+            }
+        }
+        // In-flight suppression: the response cache above only covers
+        // *answered* requests. A duplicate that lands while the original
+        // mutation is still waiting on durability (duplicated on the wire,
+        // or retried into a slow round) must not execute a second time —
+        // the re-execution could interleave with other clients' operations
+        // (e.g. re-delete a path someone re-created) and break
+        // linearizability. The original's reply covers the client.
+        if !self.retry_cache.begin(from, seq) {
             return;
         }
         self.enqueue_mutation(ctx, op, ReplyTo::Client { node: from, seq });
+    }
+
+    /// Release a reply that *observed* the namespace without journaling
+    /// anything (a read, or a mutation rejected by validation). If the
+    /// image contains not-yet-durable mutations the reply is barriered
+    /// behind the newest such batch — see the read-barrier comment in
+    /// `serve_op`.
+    fn send_or_defer_observation(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: NodeId,
+        seq: u64,
+        resp: std::sync::Arc<MdsResp>,
+    ) {
+        let barrier = if self.pending.is_empty() {
+            self.inflight.keys().next_back().copied()
+        } else {
+            Some(self.log.tail_sn() + 1)
+        };
+        match barrier {
+            None => {
+                self.retry_cache.store(from, seq, resp.clone());
+                ctx.send(from, resp);
+            }
+            Some(sn) => self.deferred_reads.push((sn, from, seq, resp)),
+        }
     }
 
     fn exec_read(&self, op: &FsOp) -> Result<OpOutput, String> {
@@ -129,7 +189,17 @@ impl MdsServer {
 
     pub(crate) fn enqueue_mutation(&mut self, ctx: &mut Ctx<'_>, op: FsOp, reply: ReplyTo) {
         match self.exec_mutation(op) {
-            Err(e) => self.reply_now(ctx, reply, Err(e)),
+            // A rejected mutation journals nothing but its error *observed*
+            // the image (e.g. "already exists" proves a create happened) —
+            // it must cross the same barrier as a read, or it leaks
+            // speculative state.
+            Err(e) => match reply {
+                ReplyTo::Client { node, seq } => {
+                    let resp = std::sync::Arc::new(MdsResp::Reply { seq, result: Err(e) });
+                    self.send_or_defer_observation(ctx, node, seq, resp);
+                }
+                other => self.reply_now(ctx, other, Err(e)),
+            },
             Ok((txn, output)) => {
                 // Distributed-transaction fan-out: structural operations in
                 // a multi-group deployment must also run on every other
@@ -259,6 +329,23 @@ impl MdsServer {
                 self.reply_now(ctx, reply, result);
             }
         }
+        // Release barriered reads whose observed mutations are all durable:
+        // the barrier batch must have been sealed (sn on the log) and every
+        // inflight entry at or below it completed.
+        if !self.deferred_reads.is_empty() {
+            let frontier = self.inflight.keys().next().copied().unwrap_or(Sn::MAX);
+            let tail = self.log.tail_sn();
+            let mut keep = Vec::new();
+            for (sn, node, seq, resp) in std::mem::take(&mut self.deferred_reads) {
+                if sn <= tail && sn < frontier {
+                    self.retry_cache.store(node, seq, resp.clone());
+                    ctx.send(node, resp);
+                } else {
+                    keep.push((sn, node, seq, resp));
+                }
+            }
+            self.deferred_reads = keep;
+        }
     }
 
     // ------------------------------------------------------------- members
@@ -297,6 +384,7 @@ impl MdsServer {
         }
         self.active_hint = Some(from);
         self.ingest_batch(batch);
+        self.note_divergence(ctx);
         ctx.send(from, GroupMsg::SyncAck { sn: self.cursor.max_sn() });
         if !self.stash.is_empty() {
             // A batch was lost on the wire: fetch the missing range from
@@ -527,6 +615,7 @@ impl MdsServer {
                     for b in batches {
                         self.ingest_batch(b);
                     }
+                    self.note_divergence(ctx);
                     if let Some(active) = self.active_hint {
                         if active != ctx.id() {
                             ctx.send(active, GroupMsg::SyncAck { sn: self.cursor.max_sn() });

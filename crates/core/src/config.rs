@@ -26,6 +26,16 @@ pub struct MdsTiming {
     pub batch_max_ops: usize,
     /// Coordination heartbeat interval.
     pub heartbeat: Duration,
+    /// Self-fencing lease: an active that has heard *nothing* from the
+    /// coordination service for this long must assume its session expired
+    /// and step down before a successor can be elected. The coordinator
+    /// renews the session on *any* request arrival and we renew the lease
+    /// on *any* response arrival (milliseconds later), so the lease clock
+    /// can never lag the expiry clock — any value strictly below the
+    /// session timeout fences the zombie before a successor serves. Keep
+    /// a healthy margin below it, but not so tight that a short burst of
+    /// lost view-refresh rounds triggers spurious fences.
+    pub coord_lease: Duration,
     /// Active-side scan for juniors needing renewal.
     pub renew_scan: Duration,
     /// Maximum random election delay (Algorithm 1's bid is mapped onto a
@@ -56,6 +66,11 @@ pub struct MdsTiming {
     /// (serialization + send per replica). This is what produces the
     /// paper's few-percent throughput decline per added standby (Fig. 5).
     pub sync_cpu_per_standby: Duration,
+    /// **Deliberate bug switch** (chaos-checker teeth test): the active
+    /// acknowledges `delete` without applying it. Must never be set outside
+    /// chaos campaigns — it exists so the linearizability checker can be
+    /// shown to catch a real double-ack defect.
+    pub fault_double_ack: bool,
 }
 
 impl Default for MdsTiming {
@@ -64,6 +79,7 @@ impl Default for MdsTiming {
             flush_interval: Duration::from_millis(2),
             batch_max_ops: 64,
             heartbeat: Duration::from_secs(2),
+            coord_lease: Duration::from_secs(4),
             renew_scan: Duration::from_secs(1),
             election_spread: Duration::from_millis(50),
             register_retry: Duration::from_millis(250),
@@ -75,6 +91,7 @@ impl Default for MdsTiming {
             cpu: crate::ingress::CpuModel::default(),
             checkpoint_interval: None,
             sync_cpu_per_standby: Duration::from_micros(5),
+            fault_double_ack: false,
         }
     }
 }

@@ -15,7 +15,9 @@ use mams_storage::proto::{PoolReq, PoolResp};
 
 use crate::config::InitialRole;
 use crate::proto::GroupMsg;
-use crate::server::{ElectStage, ElectState, MdsServer, PoolCtx, Role, T_ELECT, T_UPGRADE_RETRY};
+use crate::server::{
+    ElectStage, ElectState, Inflight, MdsServer, PoolCtx, Role, T_ELECT, T_UPGRADE_RETRY,
+};
 use crate::view::keys;
 
 impl MdsServer {
@@ -57,6 +59,10 @@ impl MdsServer {
             }
             CoordResp::LockGranted { path, epoch, .. } => {
                 if path == keys::lock(self.cfg.group) {
+                    // Holding a fresh grant supersedes any unconfirmed
+                    // release of an earlier one (the epoch fence already
+                    // makes a late retry of it harmless).
+                    self.pending_lock_release = None;
                     self.begin_upgrade(ctx, epoch);
                 }
             }
@@ -78,10 +84,12 @@ impl MdsServer {
                     self.absorb_view_listing(ctx, entries);
                 }
             }
-            CoordResp::Value { .. }
-            | CoordResp::MultiOk { .. }
-            | CoordResp::Watching { .. }
-            | CoordResp::LockReleased { .. } => {}
+            CoordResp::LockReleased { path, .. } => {
+                if path == keys::lock(self.cfg.group) {
+                    self.pending_lock_release = None;
+                }
+            }
+            CoordResp::Value { .. } | CoordResp::MultiOk { .. } | CoordResp::Watching { .. } => {}
         }
     }
 
@@ -106,6 +114,12 @@ impl MdsServer {
                 } else {
                     self.maybe_register(ctx);
                 }
+            }
+            Some(_) if !matches!(self.role, Role::Active | Role::Upgrading) => {
+                // The view still points at *us* but we stepped down (e.g.
+                // self-fenced and our cleanup writes were lost). Remove the
+                // stale pointer so the group can elect.
+                self.release_tenure(ctx);
             }
             None => {
                 if self.role == Role::Active {
@@ -354,7 +368,8 @@ impl MdsServer {
         let standbys_exist = self.members_in_state("S").iter().any(|&n| n != me);
         if my_state.as_deref() == Some("J") && standbys_exist {
             ctx.trace("failover.aborted", || "junior with standbys present".into());
-            self.coord.release_lock(ctx, keys::lock(self.cfg.group));
+            self.coord.release_lock(ctx, keys::lock(self.cfg.group), epoch);
+            self.pending_lock_release = Some(epoch);
             self.elect = None;
             return;
         }
@@ -407,6 +422,7 @@ impl MdsServer {
                 for b in batches {
                     self.ingest_batch(b);
                 }
+                self.note_divergence(ctx);
                 if self.cursor.max_sn() < tail_sn {
                     let group = self.cfg.group;
                     let after = self.cursor.max_sn();
@@ -417,7 +433,33 @@ impl MdsServer {
                         PoolCtx::UpgradeTail,
                     );
                 } else {
+                    // Our replica can be *ahead* of the durable tail: the
+                    // deposed active synced batches to us whose own SSP
+                    // appends died with it. They are already applied to our
+                    // image, so re-offer the suffix to the pool — otherwise
+                    // our first fresh append sits behind a permanent journal
+                    // gap and no mutation ever commits again. None of these
+                    // batches was acknowledged to a client (acks require SSP
+                    // durability), so committing them is linearizable.
+                    let resync: Vec<mams_journal::SharedBatch> = self
+                        .log
+                        .read_after(tail_sn)
+                        .map(|bs| bs.iter().map(mams_journal::SharedBatch::share).collect())
+                        .unwrap_or_default();
                     self.finish_upgrade(ctx);
+                    let group = self.cfg.group;
+                    let epoch = self.epoch;
+                    for batch in resync {
+                        let sn = batch.batch().sn;
+                        ctx.trace("failover.resync_pool", || format!("re-offer sn {sn}"));
+                        self.inflight
+                            .insert(sn, Inflight { waiting_pool: true, ..Default::default() });
+                        self.pool_send(
+                            ctx,
+                            move |req| PoolReq::AppendJournal { group, epoch, batch, req },
+                            PoolCtx::AppendAck { sn },
+                        );
+                    }
                 }
             }
             other => {
@@ -536,14 +578,85 @@ impl MdsServer {
 
     // ------------------------------------------------------ degradation
 
+    /// Self-fencing: every deposition path above is driven by a message
+    /// *from* the coordinator (a watch event, a listing, `NoSession`). An
+    /// active partitioned away from the coordination service receives none
+    /// of them — its session expires server-side, a successor is elected,
+    /// and the zombie would keep answering reads (stale!) for clients still
+    /// connected to it. So the active also enforces its lease locally: no
+    /// coordination contact for `coord_lease` (= the coordinator's session
+    /// timeout) means the session must be presumed dead, and we step down
+    /// *before* any successor can finish its upgrade.
+    pub(crate) fn check_coord_lease(&mut self, ctx: &mut Ctx<'_>) {
+        if !matches!(self.role, Role::Active | Role::Upgrading) {
+            return;
+        }
+        let silent = ctx.now().since(self.last_coord_contact);
+        if silent > self.cfg.timing.coord_lease {
+            ctx.trace("failover.self_fence", || format!("coord silent for {silent:?}"));
+            // Teardown of our view presence. On an *asymmetric* cut (we can
+            // send to the coordinator but hear nothing back) our session
+            // stays alive server-side, so without this the lock and the
+            // active key would stay ours forever and the group could never
+            // elect a successor. On a full cut these sends are lost — and
+            // the coordinator's own session expiry does the same cleanup.
+            // Under partial loss a lost release wedges the group the same
+            // way, so it is retried (`pending_lock_release`) until the
+            // coordinator confirms.
+            self.release_tenure(ctx);
+            self.degrade_to_junior(ctx, "coord lease lapsed");
+        }
+    }
+
+    /// Give up the group lock and retract our active pointer. The release
+    /// carries our grant epoch (so a duplicated copy cannot free a
+    /// successor's — or our own later — grant) and the pointer delete is
+    /// value-guarded (so a delayed copy cannot clobber a successor's
+    /// pointer). The release is recorded in `pending_lock_release` and
+    /// re-sent every view-refresh tick until the coordinator confirms:
+    /// a single lost release would otherwise leave the lock held by a
+    /// session that keeps heartbeating, and the group headless forever.
+    pub(crate) fn release_tenure(&mut self, ctx: &mut Ctx<'_>) {
+        let epoch = self.epoch;
+        self.coord.release_lock(ctx, keys::lock(self.cfg.group), epoch);
+        self.pending_lock_release = Some(epoch);
+        self.coord.multi(
+            ctx,
+            vec![KeyOp::DeleteIfValue {
+                key: keys::active(self.cfg.group),
+                value: ctx.id().to_string(),
+            }],
+        );
+    }
+
     /// "Once the active has detected fatal errors ... it will be directly
     /// degraded to the junior state."
     pub(crate) fn degrade_to_junior(&mut self, ctx: &mut Ctx<'_>, reason: &str) {
         ctx.trace("failover.degraded", || reason.to_string());
+        // Mutations execute against the namespace when enqueued, with the
+        // ack deferred until the batch is durable in the SSP. Anything still
+        // pending or awaiting a pool ack is therefore *speculative* state in
+        // our image that the rest of the group never saw — an isolated
+        // active accumulates a whole divergent suffix this way. Per the
+        // paper's junior semantics, discard everything and rebuild from the
+        // shared image + journal; keeping the polluted image would make
+        // later replay diverge.
+        if !self.pending.is_empty() || self.inflight.values().any(|i| i.waiting_pool) {
+            ctx.trace("failover.discard_speculative", || {
+                format!("{} pending, {} inflight", self.pending.len(), self.inflight.len())
+            });
+            self.reset_replica_state();
+        }
         // Unanswered clients will time out and retry against the new
-        // active; duplicate suppression there keeps operations exact.
+        // active; duplicate suppression there keeps operations exact. The
+        // dropped operations' in-flight markers go with them — a retry of
+        // an unanswered seq must execute fresh if we are re-promoted.
         self.pending.clear();
         self.inflight.clear();
+        // Barriered reads observed state that will never commit; answering
+        // them now would be a dirty read. The clients time out and retry.
+        self.deferred_reads.clear();
+        self.retry_cache.abort_inflight();
         self.ingress.clear();
         self.buffered.clear();
         self.standbys.clear();

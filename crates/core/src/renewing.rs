@@ -392,6 +392,7 @@ impl MdsServer {
         for b in batches {
             self.ingest_batch(b);
         }
+        self.note_divergence(ctx);
         if let Some(Catchup { stage: CatchupStage::Journal { tail_hint, .. } }) =
             self.catchup.as_mut()
         {
@@ -439,6 +440,7 @@ impl MdsServer {
         for b in batches {
             self.ingest_batch(b);
         }
+        self.note_divergence(ctx);
         ctx.send(from, GroupMsg::SyncAck { sn: self.cursor.max_sn() });
     }
 }

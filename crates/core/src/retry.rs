@@ -8,7 +8,7 @@
 //! older than the window re-executes and fails benignly (e.g.
 //! `AlreadyExists`), which the client libraries reconcile.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 use mams_sim::NodeId;
@@ -21,6 +21,13 @@ use crate::proto::MdsResp;
 #[derive(Debug, Default)]
 pub struct RetryCache {
     per_client: HashMap<NodeId, BTreeMap<u64, Arc<MdsResp>>>,
+    /// Requests admitted but not yet answered. A duplicate delivery in this
+    /// window (the network duplicated the message, or the client retried
+    /// into a slow durability round) must not execute a second time: the
+    /// response cache only covers *completed* requests, and a re-execution
+    /// of a mutation whose first run is still in flight can interleave with
+    /// other clients' operations and corrupt the history.
+    inflight: HashSet<(NodeId, u64)>,
     cap: usize,
 }
 
@@ -29,12 +36,16 @@ pub const DEFAULT_RETRY_WINDOW: usize = 128;
 
 impl RetryCache {
     pub fn new() -> Self {
-        RetryCache { per_client: HashMap::new(), cap: DEFAULT_RETRY_WINDOW }
+        RetryCache {
+            per_client: HashMap::new(),
+            inflight: HashSet::new(),
+            cap: DEFAULT_RETRY_WINDOW,
+        }
     }
 
     pub fn with_capacity(cap: usize) -> Self {
         assert!(cap >= 1);
-        RetryCache { per_client: HashMap::new(), cap }
+        RetryCache { per_client: HashMap::new(), inflight: HashSet::new(), cap }
     }
 
     /// A cached response for an exact duplicate, if remembered.
@@ -42,8 +53,18 @@ impl RetryCache {
         self.per_client.get(&from).and_then(|m| m.get(&seq)).cloned()
     }
 
-    /// Remember a response, evicting the oldest beyond the window.
+    /// Admit a request for execution. Returns `false` when the same
+    /// `(client, seq)` is already executing — the caller must drop the
+    /// duplicate; the original's reply will reach the client (or the client
+    /// re-retries and hits the response cache).
+    pub fn begin(&mut self, from: NodeId, seq: u64) -> bool {
+        self.inflight.insert((from, seq))
+    }
+
+    /// Remember a response, evicting the oldest beyond the window. Also
+    /// retires the request's in-flight marker.
     pub fn store(&mut self, from: NodeId, seq: u64, resp: Arc<MdsResp>) {
+        self.inflight.remove(&(from, seq));
         let m = self.per_client.entry(from).or_default();
         m.insert(seq, resp);
         while m.len() > self.cap {
@@ -52,9 +73,18 @@ impl RetryCache {
         }
     }
 
+    /// Drop every in-flight marker without caching a response. Called on
+    /// degradation: the pending operations were discarded unanswered, so
+    /// their retries (same seq, after we are possibly re-promoted) must be
+    /// allowed to execute fresh rather than being swallowed forever.
+    pub fn abort_inflight(&mut self) {
+        self.inflight.clear();
+    }
+
     /// Forget everything (new active after failover starts empty).
     pub fn clear(&mut self) {
         self.per_client.clear();
+        self.inflight.clear();
     }
 }
 
@@ -82,6 +112,28 @@ mod tests {
         c.store(1, 3, resp(3));
         assert!(c.check(1, 3).is_some(), "lower seq after higher must not be dropped");
         assert!(c.check(1, 9).is_some());
+    }
+
+    #[test]
+    fn duplicate_in_flight_is_rejected_until_stored() {
+        let mut c = RetryCache::new();
+        assert!(c.begin(1, 7), "first delivery executes");
+        assert!(!c.begin(1, 7), "duplicate while executing is dropped");
+        assert!(c.begin(1, 8), "other seqs are independent");
+        assert!(c.begin(2, 7), "other clients are independent");
+        c.store(1, 7, resp(7));
+        assert!(c.check(1, 7).is_some(), "after completion the cache answers");
+        assert!(c.begin(1, 7), "marker retired with the stored response");
+    }
+
+    #[test]
+    fn abort_clears_markers_but_keeps_responses() {
+        let mut c = RetryCache::new();
+        c.store(1, 3, resp(3));
+        assert!(c.begin(1, 4));
+        c.abort_inflight();
+        assert!(c.begin(1, 4), "aborted request may execute fresh on retry");
+        assert!(c.check(1, 3).is_some(), "completed responses survive the abort");
     }
 
     #[test]

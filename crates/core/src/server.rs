@@ -229,6 +229,10 @@ pub struct MdsServer {
     pub(crate) standbys: BTreeSet<NodeId>,
     pub(crate) member_sns: HashMap<NodeId, Sn>,
     pub(crate) retry_cache: crate::retry::RetryCache,
+    /// Read barrier: replies to reads that observed not-yet-durable
+    /// mutations, keyed by the batch sn that must commit before release.
+    /// Dropped on degradation — a dirty read must never be answered.
+    pub(crate) deferred_reads: Vec<(Sn, NodeId, u64, std::sync::Arc<crate::proto::MdsResp>)>,
     /// Step-3 buffer: client requests received mid-upgrade.
     pub(crate) buffered: Vec<(NodeId, MdsReq)>,
     pub(crate) renew_driver: Option<RenewDriver>,
@@ -266,6 +270,19 @@ pub struct MdsServer {
     pub(crate) failure_seen_at: Option<SimTime>,
     /// Replay-divergence counter; must stay 0 in a correct deployment.
     pub(crate) divergences: u64,
+    /// One-shot guard for the `replica.diverged` trace event.
+    pub(crate) diverged_traced: bool,
+
+    /// When we last heard *anything* from the coordination service. An
+    /// active whose last contact is older than `timing.coord_lease` must
+    /// assume its session expired and self-fence (see `check_coord_lease`).
+    pub(crate) last_coord_contact: SimTime,
+
+    /// Grant epoch of a lock release the coordinator has not yet confirmed.
+    /// Re-sent every view-refresh tick: a lost release from a node whose
+    /// session keeps heartbeating would otherwise hold the group lock (and
+    /// block every election) forever.
+    pub(crate) pending_lock_release: Option<u64>,
 }
 
 impl MdsServer {
@@ -297,6 +314,7 @@ impl MdsServer {
             standbys: BTreeSet::new(),
             member_sns: HashMap::new(),
             retry_cache: crate::retry::RetryCache::new(),
+            deferred_reads: Vec::new(),
             buffered: Vec::new(),
             renew_driver: None,
             xg_to_sn: HashMap::new(),
@@ -314,6 +332,9 @@ impl MdsServer {
             gap_repair_armed: false,
             failure_seen_at: None,
             divergences: 0,
+            diverged_traced: false,
+            last_coord_contact: SimTime::ZERO,
+            pending_lock_release: None,
         }
     }
 
@@ -335,6 +356,17 @@ impl MdsServer {
     /// Replay divergences observed (test hook; must be 0).
     pub fn divergences(&self) -> u64 {
         self.divergences + self.ns.divergences()
+    }
+
+    /// Surface replica divergence on the trace (once per boot) so harnesses
+    /// outside the boxed node — e.g. the chaos campaign's invariant sweep —
+    /// can detect it by tag.
+    pub(crate) fn note_divergence(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.diverged_traced && self.divergences() > 0 {
+            self.diverged_traced = true;
+            let n = self.divergences();
+            ctx.trace("replica.diverged", || format!("count={n}"));
+        }
     }
 
     // ---------------------------------------------------------------- pool
@@ -520,6 +552,10 @@ impl Node for MdsServer {
                 // Watch events are fire-and-forget; a periodic listing heals
                 // any lost ones (stale routing, missed failure detection,
                 // lost view updates).
+                self.check_coord_lease(ctx);
+                if let Some(epoch) = self.pending_lock_release {
+                    self.coord.release_lock(ctx, crate::view::keys::lock(self.cfg.group), epoch);
+                }
                 self.coord.list(ctx, crate::view::keys::all_groups());
                 ctx.set_timer(Duration::from_secs(1), T_VIEW_REFRESH);
             }
@@ -546,6 +582,7 @@ impl Node for MdsServer {
         // Coordination traffic first.
         let msg = match CoordClient::classify(msg) {
             Ok(incoming) => {
+                self.last_coord_contact = ctx.now();
                 match incoming {
                     Incoming::Resp(resp) => self.on_coord_resp(ctx, resp),
                     Incoming::Event(ev) => self.on_coord_event(ctx, ev),

@@ -35,7 +35,7 @@ pub mod trace;
 pub mod world;
 
 pub use live::RealTimePacer;
-pub use net::{LatencyModel, Network};
+pub use net::{LatencyModel, LinkShape, Network, RouteFate};
 pub use node::{AnyMessage, Ctx, Message, Node, NodeId, TimerId};
 pub use rng::DetRng;
 pub use time::{Duration, SimTime};

@@ -29,19 +29,25 @@ pub struct TimerId(pub(crate) u64);
 
 /// Object-safe super-trait for type-erased message payloads.
 ///
-/// Blanket-implemented for every `'static + Send + Debug` type, so protocol
-/// crates simply define plain structs/enums and send them.
+/// Blanket-implemented for every `'static + Send + Debug + Clone` type, so
+/// protocol crates simply define plain structs/enums and send them. `Clone`
+/// is required so the network can duplicate messages in flight (chaos
+/// injection); wire-like payloads are cheaply cloneable by construction.
 pub trait AnyMessage: Any + Send + fmt::Debug {
     fn as_any(&self) -> &dyn Any;
     fn into_any(self: Box<Self>) -> Box<dyn Any>;
+    fn clone_boxed(&self) -> Box<dyn AnyMessage>;
 }
 
-impl<T: Any + Send + fmt::Debug> AnyMessage for T {
+impl<T: Any + Send + fmt::Debug + Clone> AnyMessage for T {
     fn as_any(&self) -> &dyn Any {
         self
     }
     fn into_any(self: Box<Self>) -> Box<dyn Any> {
         self
+    }
+    fn clone_boxed(&self) -> Box<dyn AnyMessage> {
+        Box::new(self.clone())
     }
 }
 
@@ -78,6 +84,11 @@ impl Message {
     /// Whether the payload is a `T`.
     pub fn is<T: Any>(&self) -> bool {
         (*self.0).as_any().is::<T>()
+    }
+
+    /// Deep-copy the message (network duplication).
+    pub fn duplicate(&self) -> Message {
+        Message((*self.0).clone_boxed())
     }
 }
 
@@ -173,9 +184,9 @@ impl<'a> Ctx<'a> {
 mod tests {
     use super::*;
 
-    #[derive(Debug, PartialEq)]
+    #[derive(Debug, PartialEq, Clone)]
     struct Ping(u32);
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct Pong;
 
     #[test]
@@ -201,5 +212,14 @@ mod tests {
     fn debug_formats_payload() {
         let m = Message::new(Ping(1));
         assert!(format!("{m:?}").contains("Ping"));
+    }
+
+    #[test]
+    fn duplicate_deep_copies_payload() {
+        let m = Message::new(Ping(3));
+        let d = m.duplicate();
+        assert_eq!(d.downcast_ref::<Ping>(), Some(&Ping(3)));
+        // Original untouched.
+        assert_eq!(m.downcast::<Ping>().unwrap(), Ping(3));
     }
 }

@@ -99,6 +99,22 @@ impl GroupStore {
         self.image.as_ref()
     }
 
+    /// Chaos hook: flip one byte in the middle of the stored checkpoint
+    /// image, simulating silent on-disk corruption. Returns whether an
+    /// image was present to corrupt. Readers must detect the damage (the
+    /// image decoder validates) rather than build a divergent namespace.
+    pub fn corrupt_image(&mut self) -> bool {
+        let Some(img) = self.image.as_mut() else { return false };
+        if img.data.is_empty() {
+            return false;
+        }
+        let mut raw = img.data.to_vec();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0xFF;
+        img.data = bytes::Bytes::from(raw);
+        true
+    }
+
     /// Current fencing epoch.
     pub fn epoch(&self) -> Epoch {
         self.epoch

@@ -10,7 +10,7 @@ use crate::pool::{Epoch, GroupId, PoolError};
 pub type ReqId = u64;
 
 /// Requests served by a [`crate::PoolNode`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum PoolReq {
     /// Append a journal batch under the writer's fencing epoch. The batch
     /// is a shared handle to the allocation the active sealed — carrying it
@@ -31,7 +31,7 @@ pub enum PoolReq {
 }
 
 /// Responses from a [`crate::PoolNode`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum PoolResp {
     AppendOk {
         group: GroupId,

@@ -30,6 +30,7 @@
 //! See `examples/` for richer scenarios and `mams-bench` for the harnesses
 //! that regenerate every table and figure of the paper.
 pub use mams_baselines as baselines;
+pub use mams_chaos as chaos;
 pub use mams_cluster as cluster;
 pub use mams_coord as coord;
 pub use mams_core as core;

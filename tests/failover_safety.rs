@@ -180,10 +180,16 @@ fn coordination_service_restart_heals_without_split_brain() {
     // heal. On heal, every member re-registers through NoSession and the
     // view is rebuilt from scratch.
     let coord = d.coord;
-    sim.after(Duration::ZERO, move |s| s.net_mut().isolate(coord));
-    sim.run_for(Duration::from_secs(12));
-    sim.after(Duration::ZERO, move |s| s.net_mut().rejoin(coord));
-    sim.run_for(Duration::from_secs(30));
+    let everyone_else: Vec<_> =
+        (0..sim.num_nodes() as mams_sim::NodeId).filter(|&n| n != coord).collect();
+    mams_cluster::faults::schedule_partition(
+        &mut sim,
+        vec![coord],
+        everyone_else,
+        sim.now(),
+        Some(Duration::from_secs(12)),
+    );
+    sim.run_for(Duration::from_secs(42));
 
     // Converged: traffic flows again...
     let late = metrics

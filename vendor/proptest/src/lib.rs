@@ -1,0 +1,3 @@
+//! Offline stand-in for `proptest`. Intentionally empty: the root `mams`
+//! package's proptest suites are known not to compile against this stand-in
+//! and are excluded from the tier-1 test run (`--exclude mams`).

@@ -1,0 +1,69 @@
+//! Offline stand-in for `serde`. The traits are markers: deriving them
+//! compiles to empty impls, which is enough for the workspace's own wire
+//! formats (hand-rolled over `bytes`). `stand_in_json` is the one hook a
+//! type can override to make `serde_json`'s stand-in render it for real
+//! (`serde_json::Value` does).
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {
+    /// JSON rendering hook for the offline serde_json stand-in. `None`
+    /// (the default, and what derives produce) renders as `null`.
+    fn stand_in_json(&self) -> Option<String> {
+        None
+    }
+}
+
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker mirroring serde's owned-deserialization bound.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn stand_in_json(&self) -> Option<String> {
+        (**self).stand_in_json()
+    }
+}
+
+// Marker impls for the std types the real serde covers, so call sites like
+// `serde_json::to_vec(&result)` keep compiling. No bounds on the element
+// types: these are inert markers, not real serializers.
+macro_rules! mark_std {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+mark_std!(bool, char, String, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, ());
+
+impl Serialize for str {}
+
+impl<T, E> Serialize for Result<T, E> {}
+impl<'de, T, E> Deserialize<'de> for Result<T, E> {}
+impl<T> Serialize for Option<T> {}
+impl<'de, T> Deserialize<'de> for Option<T> {}
+impl<T> Serialize for Vec<T> {}
+impl<'de, T> Deserialize<'de> for Vec<T> {}
+impl<T> Serialize for [T] {}
+impl<T, const N: usize> Serialize for [T; N] {}
+impl<'de, T, const N: usize> Deserialize<'de> for [T; N] {}
+impl<A, B> Serialize for (A, B) {}
+impl<'de, A, B> Deserialize<'de> for (A, B) {}
+impl<A, B, C> Serialize for (A, B, C) {}
+impl<'de, A, B, C> Deserialize<'de> for (A, B, C) {}
+impl<K, V> Serialize for std::collections::HashMap<K, V> {}
+impl<'de, K, V> Deserialize<'de> for std::collections::HashMap<K, V> {}
+impl<K, V> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V> {}
+impl<T> Serialize for std::sync::Arc<T> {}
+impl<'de, T> Deserialize<'de> for std::sync::Arc<T> {}
+impl<T: Serialize> Serialize for Box<T> {
+    fn stand_in_json(&self) -> Option<String> {
+        (**self).stand_in_json()
+    }
+}
+impl<'de, T> Deserialize<'de> for Box<T> {}

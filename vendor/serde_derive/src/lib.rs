@@ -1,0 +1,35 @@
+//! Offline stand-in for `serde_derive`: the derives emit empty impls of the
+//! stand-in marker traits. Generic types are not supported (nothing in this
+//! workspace derives serde on a generic type).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Find the type name: the identifier following `struct`, `enum`, or
+/// `union`, skipping attributes and visibility.
+fn type_name(input: TokenStream) -> String {
+    let mut saw_kw = false;
+    for tt in input {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_kw {
+                return s;
+            }
+            if s == "struct" || s == "enum" || s == "union" {
+                saw_kw = true;
+            }
+        }
+    }
+    panic!("serde stand-in derive: could not find type name");
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}").parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}").parse().unwrap()
+}

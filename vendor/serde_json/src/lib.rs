@@ -1,0 +1,235 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! What works: building [`Value`] trees by hand and rendering them with
+//! [`to_string`] / [`to_string_pretty`] / [`to_vec`] (real JSON output).
+//! What is deliberately inert: the [`json!`] macro discards its arguments
+//! and yields `Value::Null` (callers keep `let _ = …` markers for values
+//! only used inside it), and [`from_slice`] always errors — there is no
+//! deserializer here.
+
+use std::fmt;
+
+pub use std::collections::BTreeMap as MapImpl;
+
+/// Keeps the `serde_json::Map<String, Value>` spelling working.
+pub type Map<K, V> = MapImpl<K, V>;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map<String, Value>),
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Value {
+    fn render(&self, out: &mut String, indent: usize, pretty: bool) {
+        let (nl, pad, pad_in) = if pretty {
+            ("\n", "  ".repeat(indent), "  ".repeat(indent + 1))
+        } else {
+            ("", String::new(), String::new())
+        };
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Value::String(s) => escape_into(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    v.render(out, indent + 1, pretty);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Value::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    escape_into(out, k);
+                    out.push_str(if pretty { ": " } else { ":" });
+                    v.render(out, indent + 1, pretty);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+
+    fn rendered(&self, pretty: bool) -> String {
+        let mut out = String::new();
+        self.render(&mut out, 0, pretty);
+        out
+    }
+}
+
+impl serde::Serialize for Value {
+    fn stand_in_json(&self) -> Option<String> {
+        Some(self.rendered(true))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Value {
+        Value::Array(v)
+    }
+}
+
+impl From<Map<String, Value>> for Value {
+    fn from(v: Map<String, Value>) -> Value {
+        Value::Object(v)
+    }
+}
+
+macro_rules! from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(v as f64)
+            }
+        }
+    )*};
+}
+
+from_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Stand-in error: deserialization is unsupported offline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json stand-in: deserialization unsupported")
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.stand_in_json().unwrap_or_else(|| "null".to_string()))
+}
+
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    to_string(value)
+}
+
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+pub fn from_slice<'a, T: serde::Deserialize<'a>>(_bytes: &'a [u8]) -> Result<T, Error> {
+    Err(Error)
+}
+
+pub fn from_str<'a, T: serde::Deserialize<'a>>(_s: &'a str) -> Result<T, Error> {
+    Err(Error)
+}
+
+/// The stand-in `json!` discards its arguments and yields `Value::Null`.
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)*) => {
+        $crate::Value::Null
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_real_json_for_hand_built_values() {
+        let mut m = Map::new();
+        m.insert("n".to_string(), Value::from(3u64));
+        m.insert("s".to_string(), Value::from("a\"b"));
+        m.insert("a".to_string(), Value::Array(vec![Value::Null, Value::from(true)]));
+        let v = Value::Object(m);
+        let compact = v.rendered(false);
+        assert_eq!(compact, r#"{"a":[null,true],"n":3,"s":"a\"b"}"#);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\"n\": 3"));
+    }
+
+    #[test]
+    fn json_macro_discards() {
+        let v = json!({"anything": 1});
+        assert_eq!(v, Value::Null);
+    }
+
+    #[test]
+    fn from_slice_always_errors() {
+        #[derive(Debug)]
+        struct T;
+        impl<'de> serde::Deserialize<'de> for T {}
+        assert!(from_slice::<T>(b"{}").is_err());
+    }
+}
