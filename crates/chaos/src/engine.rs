@@ -13,7 +13,7 @@
 //!    replica divergence, and a linearizable client history.
 
 use mams_cluster::deploy::{self, DeploySpec};
-use mams_cluster::{History, Metrics, Recorder, Workload};
+use mams_cluster::{History, Metrics, Recorder};
 use mams_core::MdsTiming;
 use mams_sim::{DetRng, Duration, NodeId, NodeStatus, Sim, SimConfig, SimTime};
 
@@ -256,13 +256,13 @@ pub fn run_scenario(sc: &Scenario, cfg: &RunConfig) -> RunReport {
 
     let history = History::new();
     let metrics = Metrics::new(false);
-    for _ in 0..sc.clients {
+    for i in 0..sc.clients {
         let client = deployment.next_client_id();
         let log = history.clone();
         let think = Duration::from_millis(sc.think_ms);
         deployment.add_client_with(
             &mut sim,
-            Workload::shared_hot(sc.keys),
+            (sc.workload)(i, sc.keys),
             metrics.clone(),
             move |mut c| {
                 c.history = Some(Recorder { client, log });

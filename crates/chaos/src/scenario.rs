@@ -13,6 +13,7 @@
 //! started. References resolve against the live view trace when the action
 //! fires.
 
+use mams_cluster::Workload;
 use mams_core::MdsTiming;
 use mams_sim::{DetRng, Duration, NodeId};
 
@@ -125,6 +126,9 @@ pub struct Scenario {
     pub run_secs: u64,
     /// Timing overrides (e.g. fast checkpoints for image scenarios).
     pub tune: fn(MdsTiming) -> MdsTiming,
+    /// Per-client workload, by client boot index (scenarios can mix e.g.
+    /// read-heavy observers with mutation-heavy writers on the same keys).
+    pub workload: fn(u32, u64) -> Workload,
     /// The fault program, seeded so each campaign seed jitters times.
     pub faults: fn(&mut DetRng) -> Vec<FaultAction>,
 }
@@ -154,6 +158,7 @@ fn base(name: &'static str, about: &'static str) -> Scenario {
         think_ms: 40,
         run_secs: 50,
         tune: |t| t,
+        workload: |_, keys| Workload::shared_hot(keys),
         faults: |_| Vec::new(),
     }
 }
@@ -336,6 +341,42 @@ pub fn corpus() -> Vec<Scenario> {
             ]
         },
         ..base("clock_skew", "")
+    });
+
+    v.push(Scenario {
+        clients: 6,
+        run_secs: 60,
+        about: "read-heavy observers run concurrently with writers while \
+                the active crashes and a standby is promoted, then the \
+                successor crashes too — reads served around the promotions \
+                must only ever observe durable mutations",
+        // Even boot indices observe (mostly getfileinfo), odd ones write
+        // the same keys; the linearizability checker then cross-validates
+        // every read against the durable write order.
+        workload: |i, keys| {
+            if i % 2 == 0 {
+                Workload::shared_hot_reads(keys)
+            } else {
+                Workload::shared_hot(keys)
+            }
+        },
+        faults: |r| {
+            let t1 = jitter(r, 10_000, 3_000);
+            let t2 = jitter(r, 36_000, 4_000);
+            vec![
+                FaultAction::at(t1, FaultKind::Crash(A0)),
+                FaultAction::at(
+                    t1 + 11_000,
+                    FaultKind::Restart(NodeRef::Member { group: 0, idx: 0 }),
+                ),
+                FaultAction::at(t2, FaultKind::Crash(A0)),
+                FaultAction::at(
+                    t2 + 11_000,
+                    FaultKind::Restart(NodeRef::Member { group: 0, idx: 1 }),
+                ),
+            ]
+        },
+        ..base("read_during_promotion", "")
     });
 
     v.push(Scenario {

@@ -29,6 +29,12 @@ pub enum Workload {
     /// and reads — maximal cross-client interleavings for the
     /// linearizability checker.
     SharedHot { dir: String, keys: u64 },
+    /// Read-heavy sibling of [`Workload::SharedHot`]: mostly `getfileinfo`
+    /// against the contended key set, with just enough mutations that the
+    /// reads observe changing state. Paired with mutation-heavy clients it
+    /// checks that reads served during failover and promotion only ever see
+    /// durable (journaled and acknowledged) mutations.
+    SharedHotReads { dir: String, keys: u64 },
     /// A fixed script (tests).
     Script { ops: Vec<FsOp>, cursor: usize },
 }
@@ -72,6 +78,14 @@ impl Workload {
         Workload::SharedHot { dir: "/hot".into(), keys }
     }
 
+    /// Read-heavy stream over the same `/hot` key set as [`shared_hot`].
+    ///
+    /// [`shared_hot`]: Workload::shared_hot
+    pub fn shared_hot_reads(keys: u64) -> Self {
+        assert!(keys >= 1);
+        Workload::SharedHotReads { dir: "/hot".into(), keys }
+    }
+
     /// The client's private root that must exist before the stream starts.
     pub fn setup_dir(&self) -> Option<String> {
         match self {
@@ -82,7 +96,8 @@ impl Workload {
             | Workload::RenameOnly { dir, .. }
             | Workload::Mixed { dir, .. }
             | Workload::CreateMkdir { dir, .. }
-            | Workload::SharedHot { dir, .. } => Some(dir.clone()),
+            | Workload::SharedHot { dir, .. }
+            | Workload::SharedHotReads { dir, .. } => Some(dir.clone()),
             Workload::Script { .. } => None,
         }
     }
@@ -173,6 +188,20 @@ impl Workload {
                     _ => FsOp::GetFileInfo { path: g },
                 })
             }
+            Workload::SharedHotReads { dir, keys } => {
+                let k = rng.below(*keys);
+                let f = format!("{dir}/f{k}");
+                let g = format!("{dir}/g{k}");
+                // Three reads for every mutation: enough writes that the
+                // reads watch state change across a promotion, but the
+                // stream stays read-dominated.
+                Some(match rng.below(8) {
+                    0..=2 => FsOp::GetFileInfo { path: f },
+                    3..=5 => FsOp::GetFileInfo { path: g },
+                    6 => FsOp::Create { path: f, replication: 1 },
+                    _ => FsOp::Rename { src: f, dst: g },
+                })
+            }
             Workload::Script { ops, cursor } => {
                 if *cursor >= ops.len() {
                     None
@@ -259,6 +288,28 @@ mod tests {
             }
         }
         assert!(mutations > 100, "mutation-heavy mix, got {mutations}");
+    }
+
+    #[test]
+    fn shared_hot_reads_is_read_dominated_on_the_keyset() {
+        let mut w = Workload::shared_hot_reads(4);
+        assert_eq!(w.setup_dir().as_deref(), Some("/hot"));
+        let mut r = rng();
+        let mut reads = 0;
+        let mut mutations = 0;
+        for _ in 0..200 {
+            let op = w.next_op(&mut r).unwrap();
+            let p = op.primary_path();
+            assert!(p.starts_with("/hot/f") || p.starts_with("/hot/g"), "{p}");
+            assert!(p[6..].parse::<u64>().unwrap() < 4);
+            if op.is_mutation() {
+                mutations += 1;
+            } else {
+                reads += 1;
+            }
+        }
+        assert!(reads > 2 * mutations, "read-heavy mix, got {reads}r/{mutations}m");
+        assert!(mutations > 0, "needs some writes for the reads to observe");
     }
 
     #[test]

@@ -121,13 +121,20 @@ impl MdsServer {
         }
     }
 
+    /// Serve a read against a pinned epoch snapshot. In this simulated node
+    /// the server is single-threaded, so the pin is vacuous here — but it is
+    /// the same path a threaded deployment uses (see `bench_hotpath
+    /// --threads`), and going through it keeps the snapshot machinery under
+    /// the full protocol test surface: a pinned read must observe exactly
+    /// the applied-and-published prefix, never a mutation mid-apply.
     fn exec_read(&self, op: &FsOp) -> Result<OpOutput, String> {
+        let view = self.ns.pin();
         match op {
             FsOp::GetFileInfo { path } => {
-                self.ns.getfileinfo(path).map(OpOutput::Info).map_err(|e| e.to_string())
+                view.getfileinfo(path).map(OpOutput::Info).map_err(|e| e.to_string())
             }
             FsOp::List { path } => {
-                self.ns.list(path).map(OpOutput::Listing).map_err(|e| e.to_string())
+                view.list(path).map(OpOutput::Listing).map_err(|e| e.to_string())
             }
             _ => unreachable!("exec_read on a mutation"),
         }
@@ -567,7 +574,10 @@ impl MdsServer {
 
     /// Write a namespace image to the SSP (compacts the shared journal).
     pub(crate) fn start_checkpoint(&mut self, ctx: &mut Ctx<'_>) {
-        let image = mams_namespace::encode_image(&self.ns, self.cursor.max_sn());
+        // The image encoder works on the flat legacy layout; `to_tree`
+        // snapshots the sharded namespace into one (ids preserved, so the
+        // image round-trips through `from_tree` on the junior unchanged).
+        let image = mams_namespace::encode_image(&self.ns.to_tree(), self.cursor.max_sn());
         let group = self.cfg.group;
         let epoch = self.epoch;
         ctx.trace("checkpoint.start", || {

@@ -342,7 +342,7 @@ impl MdsServer {
         match decoder.finish() {
             Ok((tree, image_sn)) => {
                 ctx.trace("renew.image_loaded", || format!("checkpoint sn {image_sn}"));
-                self.ns = tree;
+                self.ns = mams_namespace::ShardedNamespace::from_tree(tree);
                 self.replay.reset();
                 self.log = JournalLog::with_base(image_sn);
                 self.cursor = ReplayCursor::at(image_sn);

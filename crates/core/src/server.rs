@@ -9,7 +9,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use mams_coord::{CoordClient, Incoming};
 use mams_journal::{JournalBatch, JournalLog, ReplayCursor, SharedBatch, Sn, Txn, TxnId};
-use mams_namespace::{BlockMap, NamespaceTree, ReplaySession};
+use mams_namespace::{BlockMap, ShardedNamespace, ShardedReplaySession};
 use mams_sim::{Ctx, Duration, Message, Node, NodeId, SimTime};
 use mams_storage::pool::Epoch;
 use mams_storage::proto::{PoolReq, PoolResp, ReqId};
@@ -205,7 +205,7 @@ pub struct MdsServer {
     pub(crate) group_epoch: Epoch,
     pub(crate) active_hint: Option<NodeId>,
 
-    pub(crate) ns: NamespaceTree,
+    pub(crate) ns: ShardedNamespace,
     pub(crate) blocks: BlockMap,
     pub(crate) log: JournalLog,
     pub(crate) cursor: ReplayCursor,
@@ -218,7 +218,7 @@ pub struct MdsServer {
     /// Journal replay fast path (validate-skip + cached parent handle).
     /// Reset whenever `ns` is replaced or mutated outside replay (image
     /// load, replica reset, a stint as active).
-    pub(crate) replay: ReplaySession,
+    pub(crate) replay: ShardedReplaySession,
 
     /// View cache maintained from watch events.
     pub(crate) view: HashMap<String, String>,
@@ -300,14 +300,14 @@ impl MdsServer {
             epoch: 0,
             group_epoch: 0,
             active_hint: None,
-            ns: NamespaceTree::new(),
+            ns: ShardedNamespace::new(),
             blocks: BlockMap::new(),
             log: JournalLog::new(),
             cursor: ReplayCursor::new(),
             stash: BTreeMap::new(),
             next_txid: 1,
             next_block_id: 1,
-            replay: ReplaySession::new(),
+            replay: ShardedReplaySession::new(),
             view: HashMap::new(),
             pending: Vec::new(),
             inflight: BTreeMap::new(),
@@ -400,13 +400,40 @@ impl MdsServer {
             // Replay fast path: journalled records were validated by the
             // active, so the session skips re-validation and reuses the
             // previous record's parent-directory resolution.
-            if self.replay.apply(&mut self.ns, txn).is_err() {
+            if self.replay.apply(&self.ns, txn).is_err() {
                 // Journaled transactions were validated before logging, so
                 // failure to re-apply means replica divergence.
                 self.divergences += 1;
             }
             self.next_txid = self.next_txid.max(txid + 1);
         }
+    }
+
+    /// Fan a drained admission window across the namespace's shard workers:
+    /// ops are bucketed by the shard that owns their parent directory
+    /// ([`ShardedNamespace::home_shard`]) and the buckets are served in
+    /// shard-index order. Within a bucket the admission order is preserved,
+    /// so ops against the same directory — and hence the per-shard journal
+    /// order — serve exactly as admitted; ops against different shards were
+    /// concurrent (clients are closed-loop, one op in flight each), so any
+    /// interleaving is a legal linearization. The grouping is deterministic,
+    /// keeping replica replay and the retry cache's in-order assumptions
+    /// intact, and it batches each shard's lock traffic together — the
+    /// single-process analogue of one worker thread per shard.
+    pub(crate) fn fan_out_by_shard(
+        &self,
+        drained: Vec<crate::ingress::IngressItem>,
+    ) -> Vec<crate::ingress::IngressItem> {
+        if drained.len() < 2 {
+            return drained;
+        }
+        let mut buckets: Vec<Vec<crate::ingress::IngressItem>> =
+            (0..self.ns.shard_count()).map(|_| Vec::new()).collect();
+        for item in drained {
+            let shard = self.ns.home_shard(item.op().primary_path());
+            buckets[shard].push(item);
+        }
+        buckets.into_iter().flatten().collect()
     }
 
     /// Ingest a batch from any source (live sync, re-flush, renewing, pool
@@ -435,7 +462,7 @@ impl MdsServer {
     /// Discard every bit of replicated state (a divergent member resetting
     /// to junior, per step 5 of the switch when sn values cannot match).
     pub(crate) fn reset_replica_state(&mut self) {
-        self.ns = NamespaceTree::new();
+        self.ns = ShardedNamespace::new();
         self.replay.reset();
         self.log = JournalLog::new();
         self.cursor = ReplayCursor::new();
@@ -510,7 +537,8 @@ impl Node for MdsServer {
                     // sent to each hot standby.
                     cpu.mutation +=
                         self.cfg.timing.sync_cpu_per_standby.mul_f64(self.standbys.len() as f64);
-                    for item in self.ingress.drain(budget, cpu) {
+                    let drained = self.ingress.drain(budget, cpu);
+                    for item in self.fan_out_by_shard(drained) {
                         match item {
                             crate::ingress::IngressItem::Client { from, op, seq } => {
                                 self.serve_op(ctx, from, op, seq)

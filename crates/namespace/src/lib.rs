@@ -17,6 +17,7 @@ pub mod image;
 pub mod inode;
 pub mod partition;
 pub mod path;
+pub mod shard;
 pub mod tree;
 
 pub use blocks::{BlockInfo, BlockMap};
@@ -26,4 +27,5 @@ pub use image::{
 };
 pub use inode::{FileInfo, Inode, InodeId};
 pub use partition::Partitioner;
+pub use shard::{CacheStats, ShardedNamespace, ShardedReplaySession, SnapshotView};
 pub use tree::{NamespaceTree, NsError, ReplaySession};

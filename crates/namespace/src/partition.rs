@@ -13,6 +13,18 @@ use serde::{Deserialize, Serialize};
 /// Index of a replica group within a deployment.
 pub type GroupId = u32;
 
+/// FNV-1a, stable across runs and platforms (clients and servers must agree
+/// on routing forever). Shared by group-level partitioning here and the
+/// intra-namespace shard map in [`crate::shard`].
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
+
 /// Stable path → group mapping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Partitioner {
@@ -29,20 +41,9 @@ impl Partitioner {
         self.groups
     }
 
-    fn hash(path: &str) -> u64 {
-        // FNV-1a, stable across runs and platforms (clients and servers must
-        // agree on routing forever).
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for &b in path.as_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x1_0000_0000_01b3);
-        }
-        h
-    }
-
     /// Owner group of the file at `path`.
     pub fn owner(&self, path: &str) -> GroupId {
-        (Self::hash(path) % self.groups as u64) as GroupId
+        (fnv1a64(path.as_bytes()) % self.groups as u64) as GroupId
     }
 
     /// Groups an operation must touch: file ops touch the owner only,

@@ -130,6 +130,34 @@ impl NamespaceTree {
         self.divergences
     }
 
+    /// Assemble a tree from raw parts (the sharded namespace's conversion
+    /// path). The caller guarantees `inodes` is a well-formed tree rooted at
+    /// `ROOT_ID`, `next_id` is above every id in it, and the counts match.
+    pub(crate) fn from_parts(
+        inodes: HashMap<InodeId, Inode>,
+        next_id: InodeId,
+        num_files: u64,
+        num_dirs: u64,
+    ) -> Self {
+        debug_assert!(inodes.contains_key(&ROOT_ID));
+        NamespaceTree {
+            inodes,
+            next_id,
+            num_files,
+            num_dirs,
+            divergences: 0,
+            names: HashSet::new(),
+            parent_cache: HashMap::new(),
+        }
+    }
+
+    /// Decompose into `(inodes, next_id, num_files, num_dirs)` — the sharded
+    /// namespace consumes a decoded image tree through this without cloning
+    /// any inode.
+    pub(crate) fn into_parts(self) -> (HashMap<InodeId, Inode>, InodeId, u64, u64) {
+        (self.inodes, self.next_id, self.num_files, self.num_dirs)
+    }
+
     fn alloc(&mut self, inode: Inode) -> InodeId {
         let id = self.next_id;
         self.next_id += 1;
