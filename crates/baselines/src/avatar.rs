@@ -182,7 +182,7 @@ impl Node for AvatarNode {
                     let mut cpu = self.cpu;
                     cpu.mutation += self.spec.journal_cpu;
                     for item in self.ingress.drain(budget, cpu) {
-                        if let mams_core::IngressItem::Client { from, op, seq } = item {
+                        if let mams_core::IngressItem::Client { from, op, seq, .. } = item {
                             self.serve(ctx, from, op, seq);
                         }
                     }
@@ -278,7 +278,7 @@ impl Node for AvatarNode {
                 ctx.send(from, MdsResp::NotActive { seq });
                 return;
             }
-            self.ingress.push(from, op, seq);
+            self.ingress.push(from, op, seq, None);
         }
     }
 }

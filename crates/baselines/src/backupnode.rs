@@ -215,7 +215,7 @@ impl Node for BnNode {
                     let mut cpu = self.cpu;
                     cpu.mutation += self.spec.journal_cpu;
                     for item in self.ingress.drain(budget, cpu) {
-                        if let mams_core::IngressItem::Client { from, op, seq } = item {
+                        if let mams_core::IngressItem::Client { from, op, seq, .. } = item {
                             self.serve(ctx, from, op, seq);
                         }
                     }
@@ -292,7 +292,7 @@ impl Node for BnNode {
         if let Ok(MdsReq::Op { op, seq }) = msg.downcast::<MdsReq>() {
             match self.role {
                 BnRole::Primary => {
-                    self.ingress.push(from, op, seq);
+                    self.ingress.push(from, op, seq, None);
                 }
                 _ => ctx.send(from, MdsResp::NotActive { seq }),
             }

@@ -25,6 +25,202 @@ use crate::common::{exec_op, RetryCache};
 const T_PUBLISH: u64 = 100;
 const T_DRAIN: u64 = 101;
 
+/// Hand-rolled wire codec for the RSM payloads. The vendored `serde_json`
+/// stand-in can serialize but its `from_slice` always errors (offline build
+/// without a real JSON parser), which silently turned every applied command
+/// into a no-op and every query into an error. Commands and query results
+/// only ever cross this adapter, so a private tag-byte binary format is all
+/// the RSM needs.
+mod wire {
+    use bytes::Bytes;
+    use mams_core::{FsOp, OpOutput};
+    use mams_namespace::FileInfo;
+
+    fn put_str(out: &mut Vec<u8>, s: &str) {
+        out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        out.extend_from_slice(s.as_bytes());
+    }
+
+    fn get_u32(buf: &mut &[u8]) -> Option<u32> {
+        let (head, rest) = buf.split_first_chunk::<4>()?;
+        *buf = rest;
+        Some(u32::from_le_bytes(*head))
+    }
+
+    fn get_u64(buf: &mut &[u8]) -> Option<u64> {
+        let (head, rest) = buf.split_first_chunk::<8>()?;
+        *buf = rest;
+        Some(u64::from_le_bytes(*head))
+    }
+
+    fn get_u8(buf: &mut &[u8]) -> Option<u8> {
+        let (&b, rest) = buf.split_first()?;
+        *buf = rest;
+        Some(b)
+    }
+
+    fn get_str(buf: &mut &[u8]) -> Option<String> {
+        let len = get_u32(buf)? as usize;
+        if buf.len() < len {
+            return None;
+        }
+        let (head, rest) = buf.split_at(len);
+        let s = std::str::from_utf8(head).ok()?.to_string();
+        *buf = rest;
+        Some(s)
+    }
+
+    pub fn encode_op(op: &FsOp) -> Bytes {
+        let mut out = Vec::new();
+        match op {
+            FsOp::Create { path, replication } => {
+                out.push(0);
+                put_str(&mut out, path);
+                out.push(*replication);
+            }
+            FsOp::Mkdir { path } => {
+                out.push(1);
+                put_str(&mut out, path);
+            }
+            FsOp::Delete { path, recursive } => {
+                out.push(2);
+                put_str(&mut out, path);
+                out.push(*recursive as u8);
+            }
+            FsOp::Rename { src, dst } => {
+                out.push(3);
+                put_str(&mut out, src);
+                put_str(&mut out, dst);
+            }
+            FsOp::GetFileInfo { path } => {
+                out.push(4);
+                put_str(&mut out, path);
+            }
+            FsOp::List { path } => {
+                out.push(5);
+                put_str(&mut out, path);
+            }
+            FsOp::AddBlock { path, len } => {
+                out.push(6);
+                put_str(&mut out, path);
+                out.extend_from_slice(&len.to_le_bytes());
+            }
+            FsOp::CloseFile { path } => {
+                out.push(7);
+                put_str(&mut out, path);
+            }
+            FsOp::SetPerm { path, perm } => {
+                out.push(8);
+                put_str(&mut out, path);
+                out.extend_from_slice(&(*perm as u32).to_le_bytes());
+            }
+        }
+        Bytes::from(out)
+    }
+
+    pub fn decode_op(mut buf: &[u8]) -> Option<FsOp> {
+        let b = &mut buf;
+        let op = match get_u8(b)? {
+            0 => FsOp::Create { path: get_str(b)?, replication: get_u8(b)? },
+            1 => FsOp::Mkdir { path: get_str(b)? },
+            2 => FsOp::Delete { path: get_str(b)?, recursive: get_u8(b)? != 0 },
+            3 => FsOp::Rename { src: get_str(b)?, dst: get_str(b)? },
+            4 => FsOp::GetFileInfo { path: get_str(b)? },
+            5 => FsOp::List { path: get_str(b)? },
+            6 => {
+                let path = get_str(b)?;
+                let len = get_u32(b)?;
+                FsOp::AddBlock { path, len }
+            }
+            7 => FsOp::CloseFile { path: get_str(b)? },
+            8 => {
+                let path = get_str(b)?;
+                let perm = get_u32(b)? as u16;
+                FsOp::SetPerm { path, perm }
+            }
+            _ => return None,
+        };
+        buf.is_empty().then_some(op)
+    }
+
+    pub fn encode_result(r: &Result<OpOutput, String>) -> Bytes {
+        let mut out = Vec::new();
+        match r {
+            Err(e) => {
+                out.push(0);
+                put_str(&mut out, e);
+            }
+            Ok(OpOutput::Done) => out.push(1),
+            Ok(OpOutput::Block(id)) => {
+                out.push(2);
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+            Ok(OpOutput::Listing(names)) => {
+                out.push(3);
+                out.extend_from_slice(&(names.len() as u32).to_le_bytes());
+                for n in names {
+                    put_str(&mut out, n);
+                }
+            }
+            Ok(OpOutput::Info(info)) => {
+                out.push(4);
+                put_str(&mut out, &info.path);
+                out.push(info.is_dir as u8);
+                out.extend_from_slice(&(info.blocks.len() as u32).to_le_bytes());
+                for bl in &info.blocks {
+                    out.extend_from_slice(&bl.to_le_bytes());
+                }
+                out.push(info.replication);
+                out.push(info.sealed as u8);
+                out.extend_from_slice(&(info.perm as u32).to_le_bytes());
+                out.extend_from_slice(&(info.child_count as u64).to_le_bytes());
+            }
+        }
+        Bytes::from(out)
+    }
+
+    pub fn decode_result(mut buf: &[u8]) -> Option<Result<OpOutput, String>> {
+        let b = &mut buf;
+        let r = match get_u8(b)? {
+            0 => Err(get_str(b)?),
+            1 => Ok(OpOutput::Done),
+            2 => Ok(OpOutput::Block(get_u64(b)?)),
+            3 => {
+                let n = get_u32(b)? as usize;
+                let mut names = Vec::with_capacity(n);
+                for _ in 0..n {
+                    names.push(get_str(b)?);
+                }
+                Ok(OpOutput::Listing(names))
+            }
+            4 => {
+                let path = get_str(b)?;
+                let is_dir = get_u8(b)? != 0;
+                let n = get_u32(b)? as usize;
+                let mut blocks = Vec::with_capacity(n);
+                for _ in 0..n {
+                    blocks.push(get_u64(b)?);
+                }
+                let replication = get_u8(b)?;
+                let sealed = get_u8(b)? != 0;
+                let perm = get_u32(b)? as u16;
+                let child_count = get_u64(b)? as usize;
+                Ok(OpOutput::Info(FileInfo {
+                    path,
+                    is_dir,
+                    blocks,
+                    replication,
+                    sealed,
+                    perm,
+                    child_count,
+                }))
+            }
+            _ => return None,
+        };
+        buf.is_empty().then_some(r)
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 pub struct BoomFsSpec {
     /// Replica count (the distributed log's membership).
@@ -63,7 +259,7 @@ impl NsApp {
 
 impl RsmApp for NsApp {
     fn apply(&mut self, _slot: u64, cmd: &Bytes) {
-        if let Ok(op) = serde_json::from_slice::<FsOp>(cmd) {
+        if let Some(op) = wire::decode_op(cmd) {
             // Validation happens at apply time in an RSM; a failed op is a
             // no-op on the state (all replicas agree on that too).
             let _ = exec_op(&mut self.ns, &mut self.next_block, &op);
@@ -71,11 +267,11 @@ impl RsmApp for NsApp {
     }
 
     fn query(&mut self, q: &Bytes) -> Bytes {
-        let result: Result<OpOutput, String> = match serde_json::from_slice::<FsOp>(q) {
-            Ok(op) => exec_op(&mut self.ns, &mut self.next_block, &op).map(|(_, out)| out),
-            Err(e) => Err(e.to_string()),
+        let result: Result<OpOutput, String> = match wire::decode_op(q) {
+            Some(op) => exec_op(&mut self.ns, &mut self.next_block, &op).map(|(_, out)| out),
+            None => Err("malformed query".into()),
         };
-        Bytes::from(serde_json::to_vec(&result).expect("serializable result"))
+        wire::encode_result(&result)
     }
 }
 
@@ -112,7 +308,7 @@ impl BoomFsServer {
         let mut cpu = self.cpu;
         cpu.mutation += self.consensus_cpu;
         for item in self.ingress.drain(Duration::from_millis(2), cpu) {
-            if let IngressItem::Client { from, op, seq } = item {
+            if let IngressItem::Client { from, op, seq, .. } = item {
                 self.process(ctx, from, op, seq);
             }
         }
@@ -123,7 +319,7 @@ impl BoomFsServer {
             ctx.send(from, MdsResp::NotActive { seq });
             return;
         }
-        let encoded = Bytes::from(serde_json::to_vec(&op).expect("serializable op"));
+        let encoded = wire::encode_op(&op);
         let rsm_req = self.next_req;
         self.next_req += 1;
         self.waiting.insert(rsm_req, (from, seq));
@@ -201,7 +397,7 @@ impl Node for BoomFsServer {
                     if ok {
                         let decoded: Result<OpOutput, String> = result
                             .as_deref()
-                            .and_then(|b| serde_json::from_slice(b).ok())
+                            .and_then(wire::decode_result)
                             .unwrap_or_else(|| Err("malformed query result".into()));
                         self.reply(ctx, client, seq, decoded);
                     } else {
@@ -227,9 +423,10 @@ impl Node for BoomFsServer {
                         ctx.send(from, MdsResp::NotActive { seq });
                         return;
                     }
-                    self.ingress.push(from, op, seq);
+                    self.ingress.push(from, op, seq, None);
                 }
-                MdsReq::BlockReport { .. } | MdsReq::Checkpoint => {}
+                // Baselines are never driven in speculative mode.
+                MdsReq::OpSpec { .. } | MdsReq::BlockReport { .. } | MdsReq::Checkpoint => {}
             }
         }
     }
@@ -268,6 +465,50 @@ mod tests {
         let coord = sim.add_node("coord", Box::new(CoordServer::new(CoordConfig::default())));
         let members = build(&mut sim, coord, BoomFsSpec::default());
         (sim, coord, members)
+    }
+
+    #[test]
+    fn wire_codec_round_trips() {
+        let ops = vec![
+            FsOp::Create { path: "/a/f".into(), replication: 3 },
+            FsOp::Mkdir { path: "/a".into() },
+            FsOp::Delete { path: "/a".into(), recursive: true },
+            FsOp::Rename { src: "/a".into(), dst: "/b".into() },
+            FsOp::GetFileInfo { path: "/".into() },
+            FsOp::List { path: "/a".into() },
+            FsOp::AddBlock { path: "/a/f".into(), len: 1 << 20 },
+            FsOp::CloseFile { path: "/a/f".into() },
+            FsOp::SetPerm { path: "/a/f".into(), perm: 0o644 },
+        ];
+        for op in &ops {
+            let enc = wire::encode_op(op);
+            assert_eq!(wire::decode_op(&enc).as_ref(), Some(op), "{op:?}");
+        }
+        let results: Vec<Result<OpOutput, String>> = vec![
+            Err("no such file".into()),
+            Ok(OpOutput::Done),
+            Ok(OpOutput::Block(42)),
+            Ok(OpOutput::Listing(vec!["x".into(), "y".into()])),
+            Ok(OpOutput::Info(mams_namespace::FileInfo {
+                path: "/a/f".into(),
+                is_dir: false,
+                blocks: vec![1, 2, 3],
+                replication: 2,
+                sealed: true,
+                perm: 0o755,
+                child_count: 0,
+            })),
+        ];
+        for r in &results {
+            let enc = wire::encode_result(r);
+            assert_eq!(wire::decode_result(&enc).as_ref(), Some(r), "{r:?}");
+        }
+        // Truncated and trailing-garbage inputs are rejected, not misparsed.
+        let enc = wire::encode_op(&ops[0]);
+        assert_eq!(wire::decode_op(&enc[..enc.len() - 1]), None);
+        let mut long = enc.to_vec();
+        long.push(0);
+        assert_eq!(wire::decode_op(&long), None);
     }
 
     #[test]

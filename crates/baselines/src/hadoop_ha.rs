@@ -212,7 +212,7 @@ impl Node for HaNameNode {
                     let mut cpu = self.cpu;
                     cpu.mutation += self.spec.journal_cpu;
                     for item in self.ingress.drain(budget, cpu) {
-                        if let mams_core::IngressItem::Client { from, op, seq } = item {
+                        if let mams_core::IngressItem::Client { from, op, seq, .. } = item {
                             self.serve(ctx, from, op, seq);
                         }
                     }
@@ -300,7 +300,7 @@ impl Node for HaNameNode {
                 ctx.send(from, MdsResp::NotActive { seq });
                 return;
             }
-            self.ingress.push(from, op, seq);
+            self.ingress.push(from, op, seq, None);
         }
     }
 }

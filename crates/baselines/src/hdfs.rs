@@ -110,7 +110,7 @@ impl Node for HdfsNameNode {
             let mut cpu = self.cpu;
             cpu.mutation += self.spec.journal_cpu;
             for item in self.ingress.drain(budget, cpu) {
-                if let mams_core::IngressItem::Client { from, op, seq } = item {
+                if let mams_core::IngressItem::Client { from, op, seq, .. } = item {
                     self.serve(ctx, from, op, seq);
                 }
             }
@@ -137,9 +137,10 @@ impl Node for HdfsNameNode {
         if let Ok(req) = msg.downcast::<MdsReq>() {
             match req {
                 MdsReq::Op { op, seq } => {
-                    self.ingress.push(from, op, seq);
+                    self.ingress.push(from, op, seq, None);
                 }
-                MdsReq::BlockReport { .. } | MdsReq::Checkpoint => {}
+                // Baselines are never driven in speculative mode.
+                MdsReq::OpSpec { .. } | MdsReq::BlockReport { .. } | MdsReq::Checkpoint => {}
             }
         }
     }

@@ -22,16 +22,33 @@
 //! scaling the sharded tree exists for — re-run on multi-core hardware to
 //! see the curve climb.
 //!
+//! # Latency mode
+//!
+//! Besides the wall-clock throughput sweep, the bench drives the *simulated*
+//! cluster to measure client-observed commit latency percentiles
+//! (p50/p99/p999) under two offered loads — a single think-time client
+//! (idle: every op rides an empty batch) and a closed-loop fleet (loaded:
+//! batches fill and queueing dominates) — once with the fixed
+//! `flush_interval` cadence and once with the adaptive group-commit
+//! controller. The `latency` section of `BENCH_hotpath.json` records the
+//! curve; the claim under test is that adaptive pacing improves loaded p99
+//! without regressing idle latency.
+//!
 //! Run from the repo root: `cargo run --release --bin bench_hotpath`
 //! (full sweep) or `-- --threads 2` (one thread count, no file write — the
-//! CI smoke).
+//! CI smoke) or `-- --latency` (short latency-percentile smoke, no file
+//! write).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use mams_cluster::deploy::{self, DeploySpec};
+use mams_cluster::{Metrics, Workload};
+use mams_core::MdsTiming;
 use mams_journal::{JournalBatch, JournalLog, SharedBatch, Txn};
 use mams_namespace::ShardedNamespace;
+use mams_sim::{Duration, Sim, SimConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -269,6 +286,136 @@ fn measure(threads: usize) -> RunResult {
     best.expect("REPS > 0")
 }
 
+// ------------------------------------------------------- latency mode
+
+/// One latency case: offered load + commit policy.
+#[derive(Debug, Clone, Copy)]
+struct LatencyCase {
+    load: &'static str,
+    clients: u32,
+    think_ms: u64,
+    adaptive: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LatencyResult {
+    case: LatencyCase,
+    ops: usize,
+    p50_us: u64,
+    p99_us: u64,
+    p999_us: u64,
+}
+
+/// The idle case: one client with think time, so every op arrives at an
+/// empty batch and latency is pure commit-path overhead.
+const IDLE_CLIENTS: u32 = 1;
+const IDLE_THINK_MS: u64 = 5;
+/// The loaded case: a closed-loop fleet with no think time hammering the
+/// group, so batch fill and queueing dominate.
+const LOAD_CLIENTS: u32 = 64;
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Run one simulated-cluster latency case and return commit-latency
+/// percentiles over the post-warmup window. Deterministic in the case.
+fn run_latency_case(case: LatencyCase, run_secs: u64, warmup_secs: u64) -> LatencyResult {
+    let mut sim = Sim::new(SimConfig { seed: SEED ^ 0x1a7e, ..SimConfig::default() });
+    let timing = MdsTiming { adaptive_commit: case.adaptive, ..MdsTiming::default() };
+    let spec = DeploySpec { groups: 1, standbys_per_group: 2, timing, ..DeploySpec::default() };
+    let mut d = deploy::build(&mut sim, spec);
+    let metrics = Metrics::new(true);
+    for i in 0..case.clients {
+        let think = Duration::from_millis(case.think_ms);
+        d.add_client_with(&mut sim, Workload::mixed(i), metrics.clone(), move |mut c| {
+            c.think = think;
+            c
+        });
+    }
+    sim.run_for(Duration::from_secs(run_secs));
+
+    let mut lat: Vec<u64> = metrics
+        .completions()
+        .iter()
+        .filter(|c| c.ok && c.issued_us >= warmup_secs * 1_000_000)
+        .map(|c| c.latency_us())
+        .collect();
+    lat.sort_unstable();
+    LatencyResult {
+        case,
+        ops: lat.len(),
+        p50_us: percentile(&lat, 0.50),
+        p99_us: percentile(&lat, 0.99),
+        p999_us: percentile(&lat, 0.999),
+    }
+}
+
+/// All four latency cases (idle/loaded x fixed/adaptive), in print order.
+fn latency_cases() -> [LatencyCase; 4] {
+    let mk = |load, clients, think_ms, adaptive| LatencyCase { load, clients, think_ms, adaptive };
+    [
+        mk("idle", IDLE_CLIENTS, IDLE_THINK_MS, false),
+        mk("idle", IDLE_CLIENTS, IDLE_THINK_MS, true),
+        mk("loaded", LOAD_CLIENTS, 0, false),
+        mk("loaded", LOAD_CLIENTS, 0, true),
+    ]
+}
+
+fn run_latency(run_secs: u64, warmup_secs: u64) -> Vec<LatencyResult> {
+    latency_cases()
+        .iter()
+        .map(|&case| {
+            let r = run_latency_case(case, run_secs, warmup_secs);
+            println!(
+                "latency[{}/{}]: {} ops p50 {}us p99 {}us p999 {}us",
+                r.case.load,
+                if r.case.adaptive { "adaptive" } else { "fixed" },
+                r.ops,
+                r.p50_us,
+                r.p99_us,
+                r.p999_us,
+            );
+            r
+        })
+        .collect()
+}
+
+fn latency_json(results: &[LatencyResult]) -> String {
+    let mut rows = String::new();
+    for (i, r) in results.iter().enumerate() {
+        rows.push_str(&format!(
+            "      {{ \"load\": \"{}\", \"policy\": \"{}\", \"clients\": {}, \
+             \"think_ms\": {}, \"ops\": {}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"p999_us\": {} }}{}",
+            r.case.load,
+            if r.case.adaptive { "adaptive" } else { "fixed" },
+            r.case.clients,
+            r.case.think_ms,
+            r.ops,
+            r.p50_us,
+            r.p99_us,
+            r.p999_us,
+            if i + 1 < results.len() { ",\n" } else { "\n" },
+        ));
+    }
+    let by = |load: &str, adaptive: bool| {
+        results.iter().find(|r| r.case.load == load && r.case.adaptive == adaptive)
+    };
+    let p99_gain = match (by("loaded", false), by("loaded", true)) {
+        (Some(f), Some(a)) if a.p99_us > 0 => f.p99_us as f64 / a.p99_us as f64,
+        _ => 1.0,
+    };
+    format!(
+        "  \"latency\": {{\n    \"cases\": [\n{rows}    ],\n    \
+         \"loaded_p99_fixed_over_adaptive\": {p99_gain:.3}\n  }}"
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let single: Option<usize> = args
@@ -277,6 +424,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse().expect("--threads takes a positive integer"));
     let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    if args.iter().any(|a| a == "--latency") {
+        // Latency smoke (CI): short simulated runs, report only.
+        run_latency(8, 2);
+        return;
+    }
 
     if let Some(threads) = single {
         // Single-count mode (the CI smoke): run and report, leave the
@@ -299,6 +452,7 @@ fn main() {
     }
 
     let results: Vec<(usize, RunResult)> = SWEEP.iter().map(|&t| (t, measure(t))).collect();
+    let latency = run_latency(20, 4);
     let (_, one) = results[0];
     let base_ops = TOTAL_OPS as f64 / one.elapsed;
 
@@ -349,7 +503,7 @@ fn main() {
          \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
          \"host_cpus\": {host_cpus},\n  \
          \"aggregate_speedup_4t\": {speedup_4t:.3},\n  \
-         \"threads_sweep\": [\n{sweep_rows}  ]\n}}\n",
+         \"threads_sweep\": [\n{sweep_rows}  ],\n{}\n}}\n",
         one.c.mutations,
         one.c.reads,
         one.c.batches,
@@ -357,6 +511,7 @@ fn main() {
         one.elapsed,
         one.cache_hits,
         one.cache_misses,
+        latency_json(&latency),
     );
     let out = "BENCH_hotpath.json";
     std::fs::write(out, doc).expect("write BENCH_hotpath.json");

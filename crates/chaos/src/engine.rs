@@ -45,6 +45,9 @@ pub struct RunReport {
     pub ops_ok: u64,
     pub ops_failed: u64,
     pub records: usize,
+    /// How many records were speculative-acked (0 unless the scenario
+    /// drives `OpSpec` clients).
+    pub spec_acked: usize,
     pub check: CheckOutcome,
     /// Violated run invariants, human-readable.
     pub invariants: Vec<String>,
@@ -256,6 +259,7 @@ pub fn run_scenario(sc: &Scenario, cfg: &RunConfig) -> RunReport {
 
     let history = History::new();
     let metrics = Metrics::new(false);
+    let speculative = sc.speculative;
     for i in 0..sc.clients {
         let client = deployment.next_client_id();
         let log = history.clone();
@@ -267,6 +271,7 @@ pub fn run_scenario(sc: &Scenario, cfg: &RunConfig) -> RunReport {
             move |mut c| {
                 c.history = Some(Recorder { client, log });
                 c.think = think;
+                c.speculative = speculative;
                 c
             },
         );
@@ -335,7 +340,20 @@ pub fn run_scenario(sc: &Scenario, cfg: &RunConfig) -> RunReport {
         invariants.push("no successful operation after faults were lifted".into());
     }
 
-    let check = check_history_with(&records, &cfg.checker.unwrap_or_default());
+    // Speculative runs relax the checker (spec acks may be lost to
+    // failover) but add the token contract: ordering tokens may only
+    // regress once a fault could have fired.
+    let checker = cfg
+        .checker
+        .unwrap_or(CheckerOpts { spec_maybe_lost: sc.speculative, ..CheckerOpts::default() });
+    if sc.speculative {
+        let first_fault_us =
+            program.iter().map(|a| t0.micros() + a.at_ms * 1_000).min().unwrap_or(u64::MAX);
+        if let Some(msg) = crate::checker::check_token_contract(&records, first_fault_us) {
+            invariants.push(format!("token contract: {msg}"));
+        }
+    }
+    let check = check_history_with(&records, &checker);
 
     RunReport {
         scenario: sc.name,
@@ -344,6 +362,7 @@ pub fn run_scenario(sc: &Scenario, cfg: &RunConfig) -> RunReport {
         ops_ok: metrics.ok_count(),
         ops_failed: metrics.failed_count(),
         records: records.len(),
+        spec_acked: records.iter().filter(|r| r.spec).count(),
         check,
         invariants,
     }
@@ -389,6 +408,24 @@ mod tests {
         let rep = run_scenario(&sc, &RunConfig { seed: 3, ..Default::default() });
         assert!(!rep.failed(), "invariants: {:?} check: {:?}", rep.invariants, rep.check);
         // The program really fired: the active changed hands at least once.
+        assert!(rep.ops_ok > 0);
+    }
+
+    #[test]
+    fn spec_ack_loss_scenario_survives() {
+        let sc = scenario::by_name("spec_ack_loss").unwrap();
+        let rep = run_scenario(&sc, &RunConfig { seed: 5, ..Default::default() });
+        assert!(!rep.failed(), "invariants: {:?} check: {:?}", rep.invariants, rep.check);
+        assert!(rep.ops_ok > 0);
+        // The speculative path really engaged.
+        assert!(rep.spec_acked > 0, "no spec-acked records in a speculative scenario");
+    }
+
+    #[test]
+    fn adaptive_gray_standby_scenario_survives() {
+        let sc = scenario::by_name("adaptive_gray_standby").unwrap();
+        let rep = run_scenario(&sc, &RunConfig { seed: 7, ..Default::default() });
+        assert!(!rep.failed(), "invariants: {:?} check: {:?}", rep.invariants, rep.check);
         assert!(rep.ops_ok > 0);
     }
 }

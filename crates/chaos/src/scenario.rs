@@ -124,6 +124,11 @@ pub struct Scenario {
     pub think_ms: u64,
     /// Main phase length; cleanup + grace follow.
     pub run_secs: u64,
+    /// Drive clients in speculative-ack mode (`OpSpec` with ordering
+    /// tokens). The checker then models spec-acked mutations as possibly
+    /// lost and verifies the token contract instead of durable-ack
+    /// linearizability.
+    pub speculative: bool,
     /// Timing overrides (e.g. fast checkpoints for image scenarios).
     pub tune: fn(MdsTiming) -> MdsTiming,
     /// Per-client workload, by client boot index (scenarios can mix e.g.
@@ -157,6 +162,7 @@ fn base(name: &'static str, about: &'static str) -> Scenario {
         keys: 6,
         think_ms: 40,
         run_secs: 50,
+        speculative: false,
         tune: |t| t,
         workload: |_, keys| Workload::shared_hot(keys),
         faults: |_| Vec::new(),
@@ -403,6 +409,60 @@ pub fn corpus() -> Vec<Scenario> {
             ]
         },
         ..base("rename_storm_crash", "")
+    });
+
+    v.push(Scenario {
+        speculative: true,
+        clients: 6,
+        run_secs: 60,
+        about: "speculative-ack clients across a double failover: acks \
+                released before durability may be lost when the active \
+                dies, which the checker accepts only for spec-acked ops — \
+                and the ordering-token contract must hold (no regression \
+                before the first fault)",
+        faults: |r| {
+            let t1 = jitter(r, 10_000, 3_000);
+            let t2 = jitter(r, 36_000, 4_000);
+            vec![
+                FaultAction::at(t1, FaultKind::Crash(A0)),
+                FaultAction::at(
+                    t1 + 11_000,
+                    FaultKind::Restart(NodeRef::Member { group: 0, idx: 0 }),
+                ),
+                FaultAction::at(t2, FaultKind::Crash(A0)),
+                FaultAction::at(
+                    t2 + 11_000,
+                    FaultKind::Restart(NodeRef::Member { group: 0, idx: 1 }),
+                ),
+            ]
+        },
+        ..base("spec_ack_loss", "")
+    });
+
+    v.push(Scenario {
+        clients: 8,
+        think_ms: 10,
+        run_secs: 50,
+        about: "a standby turns gray-slow while the adaptive group-commit \
+                controller is pacing batches to its ack latency: the \
+                controller must stretch toward flush_max (not spin), \
+                durable acks stay strict, and service survives the \
+                subsequent active crash",
+        faults: |r| {
+            let t1 = jitter(r, 8_000, 2_000);
+            vec![
+                FaultAction::at(
+                    t1,
+                    FaultKind::SlowNode { node: B0, factor: 15.0, clear_ms: Some(20_000) },
+                ),
+                FaultAction::at(t1 + 24_000, FaultKind::Crash(A0)),
+                FaultAction::at(
+                    t1 + 36_000,
+                    FaultKind::Restart(NodeRef::Member { group: 0, idx: 0 }),
+                ),
+            ]
+        },
+        ..base("adaptive_gray_standby", "")
     });
 
     v

@@ -53,6 +53,11 @@ pub struct ClientConfig {
     /// When set, every operation's invocation/completion is logged for
     /// linearizability checking.
     pub history: Option<Recorder>,
+    /// Opt into speculative acks (`MdsReq::OpSpec`): mutations acknowledge
+    /// on apply (before durability) with an ordering token, and reads carry
+    /// the last token so the server enforces read-your-writes. A token
+    /// regression on a reply means a failover discarded acked operations.
+    pub speculative: bool,
 }
 
 impl ClientConfig {
@@ -65,6 +70,7 @@ impl ClientConfig {
             max_ops: None,
             think: Duration::ZERO,
             history: None,
+            speculative: false,
         }
     }
 }
@@ -93,6 +99,8 @@ pub struct FsClient {
     outstanding: Option<Outstanding>,
     setup: Option<String>,
     completed: u64,
+    /// Last ordering token seen (speculative mode); sent as `min_token`.
+    last_token: u64,
 }
 
 impl FsClient {
@@ -108,6 +116,17 @@ impl FsClient {
             outstanding: None,
             setup,
             completed: 0,
+            last_token: 0,
+        }
+    }
+
+    /// Wire form of an operation: default durable-ack, or `OpSpec` carrying
+    /// the last token when this client opted into speculative mode.
+    fn wire_req(&self, op: FsOp, seq: u64) -> MdsReq {
+        if self.cfg.speculative {
+            MdsReq::OpSpec { op, seq, min_token: self.last_token }
+        } else {
+            MdsReq::Op { op, seq }
         }
     }
 
@@ -176,7 +195,8 @@ impl FsClient {
         };
         match self.actives.get(&group) {
             Some(&active) => {
-                ctx.send(active, MdsReq::Op { op, seq });
+                let req = self.wire_req(op, seq);
+                ctx.send(active, req);
             }
             None => {
                 self.refresh_view(ctx);
@@ -196,11 +216,20 @@ impl FsClient {
         }
     }
 
-    fn finish(&mut self, ctx: &mut Ctx<'_>, ok: bool, result: &Result<OpOutput, String>) {
+    fn finish(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        ok: bool,
+        result: &Result<OpOutput, String>,
+        token: Option<u64>,
+    ) {
         let o = self.outstanding.take().expect("outstanding op");
         self.metrics.record(o.issued, ctx.now(), ok);
         if let (Some(idx), Some(h)) = (o.rec, self.cfg.history.as_ref()) {
             h.log.complete(idx, ctx.now().micros(), result, ok, o.attempts);
+            if let Some(t) = token {
+                h.log.set_spec_token(idx, t);
+            }
         }
         self.completed += 1;
         if self.cfg.think > Duration::ZERO {
@@ -208,6 +237,54 @@ impl FsClient {
         } else {
             self.issue_next(ctx);
         }
+    }
+
+    /// Shared completion path for `Reply` and `ReplySpec`.
+    fn handle_reply(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        seq: u64,
+        result: Result<OpOutput, String>,
+        token: Option<u64>,
+    ) {
+        let (matches, attempts, is_setup) = match &self.outstanding {
+            Some(o) => (o.seq == seq, o.attempts, o.is_setup),
+            None => (false, 0, false),
+        };
+        if !matches {
+            return;
+        }
+        if let Some(t) = token {
+            if t < self.last_token {
+                // The active changed and our speculatively acked suffix was
+                // discarded — the opt-in contract's loss signal.
+                ctx.trace("client.spec_token_regressed", || {
+                    format!("token {t} < last {}", self.last_token)
+                });
+            }
+            // Adopt the server's timeline either way; subsequent reads wait
+            // on it, not on the discarded one.
+            self.last_token = t;
+        }
+        let ok = match &result {
+            Ok(_) => true,
+            Err(e) => {
+                (is_setup && e.contains("already exists"))
+                    || (attempts > 1
+                        && Self::reconcile_retry(
+                            &self.outstanding.as_ref().expect("matched").op,
+                            e,
+                        ))
+            }
+        };
+        if !ok {
+            // A genuine error (e.g. AlreadyExists on a first attempt) is an
+            // application-level failure; trace it for diagnosis.
+            let err = result.as_ref().err().cloned().unwrap_or_default();
+            let op = self.outstanding.as_ref().map(|o| format!("{:?}", o.op));
+            ctx.trace("client.op_failed", || format!("{op:?}: {err}"));
+        }
+        self.finish(ctx, ok, &result, token);
     }
 }
 
@@ -244,32 +321,10 @@ impl Node for FsClient {
             Ok(resp) => {
                 match resp {
                     MdsResp::Reply { seq, result } => {
-                        let (matches, attempts, is_setup) = match &self.outstanding {
-                            Some(o) => (o.seq == seq, o.attempts, o.is_setup),
-                            None => (false, 0, false),
-                        };
-                        if matches {
-                            let ok = match &result {
-                                Ok(_) => true,
-                                Err(e) => {
-                                    (is_setup && e.contains("already exists"))
-                                        || (attempts > 1
-                                            && Self::reconcile_retry(
-                                                &self.outstanding.as_ref().expect("matched").op,
-                                                e,
-                                            ))
-                                }
-                            };
-                            if !ok {
-                                // A genuine error (e.g. AlreadyExists on a
-                                // first attempt) is an application-level
-                                // failure; trace it for diagnosis.
-                                let err = result.as_ref().err().cloned().unwrap_or_default();
-                                let op = self.outstanding.as_ref().map(|o| format!("{:?}", o.op));
-                                ctx.trace("client.op_failed", || format!("{op:?}: {err}"));
-                            }
-                            self.finish(ctx, ok, &result);
-                        }
+                        self.handle_reply(ctx, seq, result, None);
+                    }
+                    MdsResp::ReplySpec { seq, result, token } => {
+                        self.handle_reply(ctx, seq, result, Some(token));
                     }
                     MdsResp::NotActive { seq } => {
                         if let Some(o) = self.outstanding.as_ref().filter(|o| o.seq == seq) {
@@ -308,7 +363,8 @@ impl Node for FsClient {
                     // the timeout.
                     let (seq, group, op) = (o.seq, o.group, o.op.clone());
                     if let Some(&active) = self.actives.get(&group) {
-                        ctx.send(active, MdsReq::Op { op, seq });
+                        let req = self.wire_req(op, seq);
+                        ctx.send(active, req);
                     }
                 }
             }

@@ -33,8 +33,11 @@ impl MdsServer {
                 return;
             }
             _ => {
-                if let MdsReq::Op { seq, .. } = req {
-                    ctx.send(from, MdsResp::NotActive { seq });
+                match req {
+                    MdsReq::Op { seq, .. } | MdsReq::OpSpec { seq, .. } => {
+                        ctx.send(from, MdsResp::NotActive { seq });
+                    }
+                    _ => {}
                 }
                 return;
             }
@@ -44,13 +47,26 @@ impl MdsServer {
             MdsReq::Op { op, seq } => {
                 // Admission control: the op executes at the next drain,
                 // modeling server CPU capacity.
-                self.ingress.push(from, op, seq);
+                self.ingress.push(from, op, seq, None);
+            }
+            MdsReq::OpSpec { op, seq, min_token } => {
+                self.ingress.push(from, op, seq, Some(min_token));
             }
             MdsReq::BlockReport { .. } => unreachable!("handled above"),
         }
     }
 
-    pub(crate) fn serve_op(&mut self, ctx: &mut Ctx<'_>, from: NodeId, op: FsOp, seq: u64) {
+    pub(crate) fn serve_op(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: NodeId,
+        op: FsOp,
+        seq: u64,
+        spec: Option<u64>,
+    ) {
+        if let Some(min_token) = spec {
+            return self.serve_spec_op(ctx, from, op, seq, min_token);
+        }
         // Duplicate handling: a retried request (same seq) is answered from
         // the cache, never re-executed.
         if let Some(cached) = self.retry_cache.check(from, seq) {
@@ -93,6 +109,99 @@ impl MdsServer {
             return;
         }
         self.enqueue_mutation(ctx, op, ReplyTo::Client { node: from, seq });
+    }
+
+    // ---------------------------------------------------- speculative mode
+
+    /// Applied txid watermark: the highest transaction id executed against
+    /// the image (flushed or still pending). This is the ordering token
+    /// speculative clients carry between operations.
+    fn applied_watermark(&self) -> u64 {
+        self.next_txid + self.pending.len() as u64 - 1
+    }
+
+    /// Serve an `MdsReq::OpSpec` operation. Mutations are acknowledged on
+    /// apply — before durability — with the op's own txid as the ordering
+    /// token; reads wait until the watermark reaches the client's
+    /// `min_token` (read-your-writes) and return the current watermark.
+    /// The PR 6 read barrier does not apply: a speculative client opted out
+    /// of the durable-observation contract, and a discarded suffix is
+    /// surfaced through token regression instead.
+    fn serve_spec_op(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: NodeId,
+        op: FsOp,
+        seq: u64,
+        min_token: u64,
+    ) {
+        if let Some(cached) = self.retry_cache.check(from, seq) {
+            ctx.send(from, cached);
+            return;
+        }
+        if !op.is_mutation() {
+            if self.applied_watermark() >= min_token {
+                let result = self.exec_read(&op);
+                let token = self.applied_watermark();
+                let resp = std::sync::Arc::new(MdsResp::ReplySpec { seq, result, token });
+                self.retry_cache.store(from, seq, resp.clone());
+                ctx.send(from, resp);
+            } else {
+                // The watermark is behind the client's last ack — only
+                // possible across a failover that discarded a speculative
+                // suffix. Hold one flush tick (the mutation may be in this
+                // very drain window), then answer with whatever watermark
+                // we have; a token below `min_token` is the loss signal.
+                self.token_waits.push((min_token, from, seq, op));
+            }
+            return;
+        }
+        if !self.retry_cache.begin(from, seq) {
+            return;
+        }
+        match self.exec_mutation(op) {
+            Err(e) => {
+                // Errors observed speculative state the client opted into;
+                // nothing was journaled, so answer immediately.
+                let token = self.applied_watermark();
+                let resp = std::sync::Arc::new(MdsResp::ReplySpec { seq, result: Err(e), token });
+                self.retry_cache.store(from, seq, resp.clone());
+                ctx.send(from, resp);
+            }
+            Ok((txn, output)) => {
+                // The txid this op receives when its batch seals.
+                let token = self.next_txid + self.pending.len() as u64;
+                let resp = std::sync::Arc::new(MdsResp::ReplySpec {
+                    seq,
+                    result: Ok(output.clone()),
+                    token,
+                });
+                self.retry_cache.store(from, seq, resp.clone());
+                ctx.send(from, resp);
+                let xid = self.maybe_xg_fanout(ctx, &txn, true);
+                self.pending.push(PendingOp { txn, reply: ReplyTo::SpecAcked, output, xid });
+                if self.pending.len() >= self.cfg.timing.batch_max_ops {
+                    self.flush_batch(ctx);
+                }
+            }
+        }
+    }
+
+    /// Resolve speculative reads parked on a watermark. Called at every
+    /// flush tick: waits the watermark now covers serve normally; the rest
+    /// are answered with the current (regressed) watermark so the client
+    /// learns its speculative timeline was discarded.
+    pub(crate) fn answer_token_waits(&mut self, ctx: &mut Ctx<'_>) {
+        if self.token_waits.is_empty() {
+            return;
+        }
+        let token = self.applied_watermark();
+        for (_min_token, node, seq, op) in std::mem::take(&mut self.token_waits) {
+            let result = self.exec_read(&op);
+            let resp = std::sync::Arc::new(MdsResp::ReplySpec { seq, result, token });
+            self.retry_cache.store(node, seq, resp.clone());
+            ctx.send(node, resp);
+        }
     }
 
     /// Release a reply that *observed* the namespace without journaling
@@ -208,41 +317,49 @@ impl MdsServer {
                 other => self.reply_now(ctx, other, Err(e)),
             },
             Ok((txn, output)) => {
-                // Distributed-transaction fan-out: structural operations in
-                // a multi-group deployment must also run on every other
-                // group's active (their directory skeletons stay in
-                // lock-step). Only client-originated ops coordinate; a leg
-                // never fans out again.
-                let mut xid = None;
-                if txn.is_structural()
-                    && self.cfg.partitioner.groups() > 1
-                    && matches!(reply, ReplyTo::Client { .. })
-                {
-                    let id = (self.cfg.group, self.next_xid);
-                    self.next_xid += 1;
-                    let mut groups = std::collections::HashSet::new();
-                    for g in 0..self.cfg.partitioner.groups() {
-                        if g == self.cfg.group {
-                            continue;
-                        }
-                        groups.insert(g);
-                        if let Some(act) = self.active_of_group(g) {
-                            ctx.send(act, GroupMsg::XGroupApply { xid: id, txn: txn.clone() });
-                        }
-                        // Groups without a known active are retried by the
-                        // T_XG_RETRY timer until they recover.
-                    }
-                    if !groups.is_empty() {
-                        self.xg_outstanding.insert(id, XgOutstanding { txn: txn.clone(), groups });
-                        xid = Some(id);
-                    }
-                }
+                let client = matches!(reply, ReplyTo::Client { .. });
+                let xid = self.maybe_xg_fanout(ctx, &txn, client);
                 self.pending.push(PendingOp { txn, reply, output, xid });
                 if self.pending.len() >= self.cfg.timing.batch_max_ops {
                     self.flush_batch(ctx);
                 }
             }
         }
+    }
+
+    /// Distributed-transaction fan-out: structural operations in a
+    /// multi-group deployment must also run on every other group's active
+    /// (their directory skeletons stay in lock-step). Only client-originated
+    /// ops coordinate; a leg never fans out again. Returns the xid when legs
+    /// were launched.
+    fn maybe_xg_fanout(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        txn: &mams_journal::Txn,
+        client_originated: bool,
+    ) -> Option<(u32, u64)> {
+        if !(client_originated && txn.is_structural() && self.cfg.partitioner.groups() > 1) {
+            return None;
+        }
+        let id = (self.cfg.group, self.next_xid);
+        self.next_xid += 1;
+        let mut groups = std::collections::HashSet::new();
+        for g in 0..self.cfg.partitioner.groups() {
+            if g == self.cfg.group {
+                continue;
+            }
+            groups.insert(g);
+            if let Some(act) = self.active_of_group(g) {
+                ctx.send(act, GroupMsg::XGroupApply { xid: id, txn: txn.clone() });
+            }
+            // Groups without a known active are retried by the T_XG_RETRY
+            // timer until they recover.
+        }
+        if groups.is_empty() {
+            return None;
+        }
+        self.xg_outstanding.insert(id, XgOutstanding { txn: txn.clone(), groups });
+        Some(id)
     }
 
     fn reply_now(&mut self, ctx: &mut Ctx<'_>, reply: ReplyTo, result: Result<OpOutput, String>) {
@@ -256,6 +373,26 @@ impl MdsServer {
                 let group = self.cfg.group;
                 ctx.send(coordinator, GroupMsg::XGroupAck { xid, group, ok: result.is_ok() });
             }
+            // The speculative ack already went out on apply.
+            ReplyTo::SpecAcked => {}
+        }
+    }
+
+    /// Home shards a journaled transaction touched (a rename spans its
+    /// source and destination parents). Client replies release in per-shard
+    /// FIFO order, so ops whose shard sets are disjoint ack independently.
+    fn shards_of_txn(&self, txn: &mams_journal::Txn) -> Vec<usize> {
+        match txn {
+            mams_journal::Txn::Rename { src, dst } => {
+                let a = self.ns.home_shard(src);
+                let b = self.ns.home_shard(dst);
+                if a == b {
+                    vec![a]
+                } else {
+                    vec![a, b]
+                }
+            }
+            other => vec![self.ns.home_shard(other.primary_path())],
         }
     }
 
@@ -284,6 +421,7 @@ impl MdsServer {
         let mut inflight = Inflight {
             waiting_pool: true,
             waiting_members: self.standbys.clone(),
+            flushed_at: ctx.now(),
             ..Default::default()
         };
         for op in ops {
@@ -297,7 +435,18 @@ impl MdsServer {
             }
             match &op.reply {
                 ReplyTo::XGroup { .. } => inflight.xg_replies.push((op.reply, Ok(op.output))),
-                ReplyTo::Client { .. } => inflight.client_replies.push((op.reply, Ok(op.output))),
+                ReplyTo::Client { .. } => {
+                    let shards = self.shards_of_txn(&op.txn);
+                    inflight.client_replies.push(crate::server::ClientReply {
+                        reply: op.reply,
+                        result: Ok(op.output),
+                        shards,
+                    });
+                }
+                // Speculative ops were acknowledged on apply; the batch
+                // still rides the durability pipeline (journal + sync), but
+                // owes the client nothing at completion.
+                ReplyTo::SpecAcked => {}
             }
         }
         self.inflight.insert(sn, inflight);
@@ -315,8 +464,20 @@ impl MdsServer {
     }
 
     /// Release replies: leg acks as soon as their batch is durable (any
-    /// order), client replies when fully complete, in sn order.
+    /// order); client replies when their batch is fully complete, released
+    /// **out of order** across batches subject to per-shard FIFO.
+    ///
+    /// Safety: the pool's journal rejects gaps, so an `AppendOk` for batch
+    /// `sn` proves every batch ≤ `sn` is durable in the SSP, and standby
+    /// acks are cumulative — a *complete* batch is never durable ahead of
+    /// its predecessors in reality, only ahead of their bookkeeping
+    /// (a lost pool ack) or their distributed-transaction legs. What the
+    /// ascending walk preserves is the client-visible contract: replies
+    /// touching the same home shard (same parent-directory region) release
+    /// in batch order, while creates/deletes/renames under disjoint shards
+    /// stop serializing behind each other's legs and stragglers.
     pub(crate) fn try_complete(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
         let mut leg_acks = Vec::new();
         for inf in self.inflight.values_mut() {
             if inf.durable() && !inf.xg_acked {
@@ -327,14 +488,19 @@ impl MdsServer {
         for (reply, result) in leg_acks {
             self.reply_now(ctx, reply, result);
         }
-        while let Some((&sn, inf)) = self.inflight.iter().next() {
-            if !inf.complete() {
-                break;
+        let (released, drained, ooo) = release_walk(&mut self.inflight);
+        if ooo > 0 {
+            ctx.trace("commit.ooo_release", || format!("{ooo} replies past an incomplete batch"));
+        }
+        for sn in drained {
+            if let Some(inf) = self.inflight.remove(&sn) {
+                // Group-commit ack latency (seal → fully released) feeds
+                // the adaptive flush controller.
+                self.commit.observe_ack(now.since(inf.flushed_at));
             }
-            let inf = self.inflight.remove(&sn).expect("present");
-            for (reply, result) in inf.client_replies.into_iter().chain(inf.xg_replies) {
-                self.reply_now(ctx, reply, result);
-            }
+        }
+        for (reply, result) in released {
+            self.reply_now(ctx, reply, result);
         }
         // Release barriered reads whose observed mutations are all durable:
         // the barrier batch must have been sealed (sn on the log) and every
@@ -642,5 +808,156 @@ impl MdsServer {
             PoolCtx::ImageChunk { for_upgrade } => self.on_image_chunk(ctx, resp, for_upgrade),
             PoolCtx::CatchupPage { for_upgrade } => self.on_catchup_page(ctx, resp, for_upgrade),
         }
+    }
+}
+
+/// A reply ready to go out: destination plus the operation's result.
+pub(crate) type ReadyReply = (ReplyTo, Result<OpOutput, String>);
+
+/// The ascending release walk over the inflight window (the out-of-order
+/// ack core, see `try_complete`): a *complete* batch releases its client
+/// replies unless an earlier still-held reply shares one of their home
+/// shards; an *incomplete* batch blocks every shard its replies touch.
+/// Returns the replies to send, in release order, the sns whose reply lists
+/// fully drained, and how many replies released *past* an earlier
+/// still-incomplete batch (the out-of-order count, for observability).
+///
+/// Kept as a free function over the window so the ordering contract —
+/// same-directory ops never reorder, disjoint directories may — is pinned
+/// by unit tests without standing up a cluster.
+pub(crate) fn release_walk(
+    inflight: &mut std::collections::BTreeMap<Sn, Inflight>,
+) -> (Vec<ReadyReply>, Vec<Sn>, u64) {
+    let mut blocked: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    let mut released: Vec<ReadyReply> = Vec::new();
+    let mut drained: Vec<Sn> = Vec::new();
+    let mut held = false;
+    let mut ooo = 0u64;
+    for (&sn, inf) in inflight.iter_mut() {
+        if inf.complete() {
+            let mut kept = Vec::new();
+            for cr in inf.client_replies.drain(..) {
+                if cr.shards.iter().any(|s| blocked.contains(s)) {
+                    // An earlier reply on this shard is still held: keep
+                    // FIFO within the shard, and hold everything behind
+                    // this reply's shards too.
+                    blocked.extend(cr.shards.iter().copied());
+                    kept.push(cr);
+                } else {
+                    if held {
+                        ooo += 1;
+                    }
+                    released.push((cr.reply, cr.result));
+                }
+            }
+            if !kept.is_empty() {
+                held = true;
+            }
+            inf.client_replies = kept;
+            if inf.client_replies.is_empty() {
+                drained.push(sn);
+            }
+        } else {
+            held = true;
+            for cr in &inf.client_replies {
+                blocked.extend(cr.shards.iter().copied());
+            }
+        }
+    }
+    (released, drained, ooo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ClientReply;
+    use std::collections::BTreeMap;
+
+    fn reply(seq: u64, shards: &[usize]) -> ClientReply {
+        ClientReply {
+            reply: ReplyTo::Client { node: 1, seq },
+            result: Ok(OpOutput::Done),
+            shards: shards.to_vec(),
+        }
+    }
+
+    fn complete(replies: Vec<ClientReply>) -> Inflight {
+        Inflight { client_replies: replies, ..Default::default() }
+    }
+
+    fn incomplete(replies: Vec<ClientReply>) -> Inflight {
+        Inflight { waiting_pool: true, client_replies: replies, ..Default::default() }
+    }
+
+    fn seqs(released: &[ReadyReply]) -> Vec<u64> {
+        released
+            .iter()
+            .map(|(r, _)| match r {
+                ReplyTo::Client { seq, .. } => *seq,
+                other => panic!("unexpected reply target {other:?}"),
+            })
+            .collect()
+    }
+
+    /// Same home shard = same parent directory: a later batch's reply must
+    /// never overtake an earlier incomplete batch on that shard, while a
+    /// disjoint-shard reply in the same later batch releases immediately.
+    #[test]
+    fn same_shard_replies_hold_behind_an_incomplete_batch() {
+        let mut w = BTreeMap::new();
+        w.insert(1, incomplete(vec![reply(1, &[3])]));
+        w.insert(2, complete(vec![reply(2, &[3]), reply(3, &[7])]));
+        let (released, drained, ooo) = release_walk(&mut w);
+        assert_eq!(seqs(&released), vec![3], "disjoint shard releases out of order");
+        assert_eq!(ooo, 1, "that release overtook the incomplete sn 1");
+        assert!(drained.is_empty(), "sn 2 still holds the blocked reply");
+        assert_eq!(w[&2].client_replies.len(), 1, "same-shard reply stays held");
+
+        // Once sn 1 turns durable, both release — in batch (txid) order.
+        w.get_mut(&1).unwrap().waiting_pool = false;
+        let (released, drained, ooo) = release_walk(&mut w);
+        assert_eq!(seqs(&released), vec![1, 2], "per-shard FIFO preserved");
+        assert_eq!(ooo, 0, "nothing overtaken once the window is complete");
+        assert_eq!(drained, vec![1, 2]);
+    }
+
+    /// Blocking is transitive through shard *sets*: a held rename spanning
+    /// two parents extends the block to its second parent, so a later op
+    /// under that parent cannot slip past the rename.
+    #[test]
+    fn a_held_rename_blocks_both_of_its_parents() {
+        let mut w = BTreeMap::new();
+        w.insert(1, incomplete(vec![reply(1, &[0])]));
+        w.insert(2, complete(vec![reply(2, &[1, 0])])); // rename /b/x -> /a/y
+        w.insert(3, complete(vec![reply(3, &[1])]));
+        let (released, drained, _) = release_walk(&mut w);
+        assert!(released.is_empty(), "rename held on shard 0 must also hold shard 1");
+        assert!(drained.is_empty());
+    }
+
+    /// Batches whose shard sets are fully disjoint from everything earlier
+    /// ack independently, whatever the completion order was.
+    #[test]
+    fn disjoint_directories_release_independently() {
+        let mut w = BTreeMap::new();
+        w.insert(1, incomplete(vec![reply(1, &[0]), reply(2, &[4])]));
+        w.insert(2, complete(vec![reply(3, &[2])]));
+        w.insert(3, complete(vec![reply(4, &[5]), reply(5, &[4])]));
+        let (released, _, ooo) = release_walk(&mut w);
+        assert_eq!(seqs(&released), vec![3, 4], "only shard-4 reply waits for sn 1");
+        assert_eq!(ooo, 2, "both releases overtook the incomplete sn 1");
+        assert_eq!(w[&3].client_replies.len(), 1);
+    }
+
+    /// The shard map itself groups by parent directory — two files in one
+    /// directory share a home shard, which is what makes the walk's
+    /// per-shard FIFO mean "same-directory ops never reorder".
+    #[test]
+    fn same_directory_ops_share_a_home_shard() {
+        let ns = mams_namespace::ShardedNamespace::with_shards(8);
+        assert_eq!(ns.home_shard("/jobs/out/part-0"), ns.home_shard("/jobs/out/part-1"));
+        let t1 = mams_journal::Txn::Create { path: "/jobs/out/part-0".into(), replication: 3 };
+        let t2 = mams_journal::Txn::Create { path: "/jobs/out/part-1".into(), replication: 3 };
+        assert_eq!(ns.home_shard(t1.primary_path()), ns.home_shard(t2.primary_path()));
     }
 }

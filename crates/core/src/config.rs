@@ -20,8 +20,20 @@ pub enum InitialRole {
 /// batches aggregated and flushed asynchronously.
 #[derive(Debug, Clone, Copy)]
 pub struct MdsTiming {
-    /// Journal batch flush cadence.
+    /// Journal batch flush cadence — the fixed cadence when
+    /// `adaptive_commit` is off, and the idle cadence when it is on.
     pub flush_interval: Duration,
+    /// Adaptive group commit: size batches from the observed arrival rate
+    /// and in-flight ack latency instead of the fixed `flush_interval`
+    /// (see `commit::GroupCommitPolicy`).
+    pub adaptive_commit: bool,
+    /// Shortest adaptive flush interval (latency floor under load).
+    pub flush_min: Duration,
+    /// Longest adaptive flush interval (batching ceiling when the
+    /// durability pipe is slow). Also bounds the drain budget a single
+    /// adaptive tick may spend, so a late tick cannot burst past the CPU
+    /// model.
+    pub flush_max: Duration,
     /// Flush as soon as this many mutations are pending.
     pub batch_max_ops: usize,
     /// Coordination heartbeat interval.
@@ -77,6 +89,9 @@ impl Default for MdsTiming {
     fn default() -> Self {
         MdsTiming {
             flush_interval: Duration::from_millis(2),
+            adaptive_commit: true,
+            flush_min: Duration::from_micros(250),
+            flush_max: Duration::from_millis(8),
             batch_max_ops: 64,
             heartbeat: Duration::from_secs(2),
             coord_lease: Duration::from_secs(4),
@@ -144,6 +159,9 @@ mod tests {
         assert_eq!(t.heartbeat, Duration::from_secs(2));
         assert!(t.flush_interval < Duration::from_millis(10));
         assert!(t.renew_final_gap < t.renew_image_gap);
+        assert!(t.adaptive_commit);
+        assert!(t.flush_min < t.flush_interval);
+        assert!(t.flush_interval < t.flush_max);
     }
 
     #[test]

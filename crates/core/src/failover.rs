@@ -656,6 +656,9 @@ impl MdsServer {
         // Barriered reads observed state that will never commit; answering
         // them now would be a dirty read. The clients time out and retry.
         self.deferred_reads.clear();
+        // Parked speculative reads likewise: the new active answers the
+        // retry with its own watermark, exposing any token regression.
+        self.token_waits.clear();
         self.retry_cache.abort_inflight();
         self.ingress.clear();
         self.buffered.clear();

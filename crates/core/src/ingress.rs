@@ -21,8 +21,20 @@ use crate::proto::FsOp;
 /// actives.
 #[derive(Debug)]
 pub enum IngressItem {
-    Client { from: NodeId, op: FsOp, seq: u64 },
-    Leg { coordinator: NodeId, xid: (u32, u64), op: FsOp },
+    Client {
+        from: NodeId,
+        op: FsOp,
+        seq: u64,
+        /// Speculative-ack mode (`MdsReq::OpSpec`): `Some(min_token)`.
+        /// Mutations ack on apply carrying an ordering token; reads wait
+        /// until the applied watermark reaches `min_token`.
+        spec: Option<u64>,
+    },
+    Leg {
+        coordinator: NodeId,
+        xid: (u32, u64),
+        op: FsOp,
+    },
 }
 
 impl IngressItem {
@@ -67,6 +79,7 @@ pub struct Ingress {
     bound: usize,
     dropped: u64,
     credit: Duration,
+    admitted: u64,
 }
 
 impl Default for Ingress {
@@ -77,13 +90,13 @@ impl Default for Ingress {
 
 impl Ingress {
     pub fn new(bound: usize) -> Self {
-        Ingress { queue: VecDeque::new(), bound, dropped: 0, credit: Duration::ZERO }
+        Ingress { queue: VecDeque::new(), bound, dropped: 0, credit: Duration::ZERO, admitted: 0 }
     }
 
     /// Admit a client operation; `false` = queue full, op dropped (client
     /// will time out and retry).
-    pub fn push(&mut self, from: NodeId, op: FsOp, seq: u64) -> bool {
-        self.push_item(IngressItem::Client { from, op, seq })
+    pub fn push(&mut self, from: NodeId, op: FsOp, seq: u64, spec: Option<u64>) -> bool {
+        self.push_item(IngressItem::Client { from, op, seq, spec })
     }
 
     /// Admit any work item.
@@ -93,6 +106,7 @@ impl Ingress {
             return false;
         }
         self.queue.push_back(item);
+        self.admitted += 1;
         true
     }
 
@@ -135,6 +149,12 @@ impl Ingress {
         self.dropped
     }
 
+    /// Total operations ever admitted (monotone; the adaptive commit
+    /// controller differences this across ticks to observe arrival rate).
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
     /// Discard all queued operations (failover: clients retry elsewhere).
     pub fn clear(&mut self) {
         self.queue.clear();
@@ -163,7 +183,7 @@ mod tests {
         let mut q = Ingress::new(1_000);
         for i in 0..50 {
             let (f, o, s) = mutation(i);
-            q.push(f, o, s);
+            q.push(f, o, s, None);
         }
         let cpu = CpuModel::default(); // 150us per mutation
         let got = q.drain(Duration::from_millis(2), cpu);
@@ -174,7 +194,7 @@ mod tests {
         // budget/cost exactly (2ms / 150us = 13.33 ops per interval).
         for i in 50..200 {
             let (f, o, s) = mutation(i);
-            q.push(f, o, s);
+            q.push(f, o, s, None);
         }
         let mut total = got.len();
         for _ in 0..14 {
@@ -188,7 +208,7 @@ mod tests {
         let mut q = Ingress::new(100);
         for i in 0..50 {
             let (f, o, s) = read(i);
-            q.push(f, o, s);
+            q.push(f, o, s, None);
         }
         let got = q.drain(Duration::from_millis(2), CpuModel::default());
         assert!(got.len() >= 39, "drained {}", got.len());
@@ -198,9 +218,24 @@ mod tests {
     fn at_least_one_op_even_if_overweight() {
         let mut q = Ingress::new(10);
         let (f, o, s) = mutation(0);
-        q.push(f, o, s);
+        q.push(f, o, s, None);
         let got = q.drain(Duration::from_micros(1), CpuModel::default());
         assert_eq!(got.len(), 1, "progress guarantee");
+    }
+
+    #[test]
+    fn admitted_counts_only_accepted_ops() {
+        let mut q = Ingress::new(2);
+        for i in 0..5 {
+            let (f, o, s) = mutation(i);
+            q.push(f, o, s, None);
+        }
+        assert_eq!(q.admitted(), 2);
+        q.drain(Duration::from_secs(1), CpuModel::default());
+        let (f, o, s) = mutation(9);
+        q.push(f, o, s, Some(0));
+        // Monotone across drains.
+        assert_eq!(q.admitted(), 3);
     }
 
     #[test]
@@ -208,7 +243,7 @@ mod tests {
         let mut q = Ingress::new(2);
         for i in 0..5 {
             let (f, o, s) = mutation(i);
-            q.push(f, o, s);
+            q.push(f, o, s, None);
         }
         assert_eq!(q.len(), 2);
         assert_eq!(q.dropped(), 3);
@@ -219,7 +254,7 @@ mod tests {
         let mut q = Ingress::new(10);
         for i in 0..5 {
             let (f, o, s) = mutation(i);
-            q.push(f, o, s);
+            q.push(f, o, s, None);
         }
         let got = q.drain(Duration::from_secs(1), CpuModel::default());
         let seqs: Vec<u64> = got.iter().map(seq_of).collect();

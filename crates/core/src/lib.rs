@@ -21,6 +21,7 @@
 //! coordination client, and the role state machine, and runs on any
 //! `mams-sim` runtime.
 
+pub mod commit;
 pub mod config;
 pub mod ingress;
 pub mod proto;
@@ -32,6 +33,7 @@ mod active;
 mod failover;
 mod renewing;
 
+pub use commit::GroupCommitPolicy;
 pub use config::{InitialRole, MdsConfig, MdsTiming};
 pub use ingress::{CpuModel, Ingress, IngressItem};
 pub use proto::{FsOp, GroupMsg, MdsReq, MdsResp, OpOutput};

@@ -89,6 +89,9 @@ pub(crate) enum ReplyTo {
         coordinator: NodeId,
         xid: (u32, u64),
     },
+    /// Speculative mode: the client was already acknowledged on apply
+    /// (`MdsResp::ReplySpec`); nothing is owed at durability.
+    SpecAcked,
 }
 
 /// A validated-and-not-yet-flushed mutation.
@@ -102,23 +105,36 @@ pub(crate) struct PendingOp {
     pub xid: Option<(u32, u64)>,
 }
 
+/// A client reply held until its batch (and its shards' predecessors) are
+/// durable. `shards` are the home shards the op touched: release preserves
+/// per-shard FIFO order, while ops on disjoint shards (different parent
+/// directories) release independently — the out-of-order ack path.
+#[derive(Debug)]
+pub(crate) struct ClientReply {
+    pub reply: ReplyTo,
+    pub result: Result<OpOutput, String>,
+    pub shards: Vec<usize>,
+}
+
 /// A flushed batch awaiting durability votes.
 ///
 /// Two release levels: **durability** (SSP + standby acks) frees the
 /// distributed-transaction leg acks immediately — tying leg acks to full
 /// completion would deadlock two groups coordinating at each other — while
 /// **client replies** additionally wait for this batch's own outgoing legs
-/// and are released in sn order.
+/// and are released in per-shard FIFO order (see `try_complete`).
 #[derive(Debug, Default)]
 pub(crate) struct Inflight {
     pub waiting_pool: bool,
     pub waiting_members: BTreeSet<NodeId>,
     /// Outgoing distributed-transaction legs client replies wait on.
     pub waiting_xg: HashSet<(u32, u64)>,
-    pub client_replies: Vec<(ReplyTo, Result<OpOutput, String>)>,
+    pub client_replies: Vec<ClientReply>,
     /// Leg acknowledgements owed to other groups' coordinators.
     pub xg_replies: Vec<(ReplyTo, Result<OpOutput, String>)>,
     pub xg_acked: bool,
+    /// Seal time, for the adaptive controller's ack-latency signal.
+    pub flushed_at: SimTime,
 }
 
 impl Inflight {
@@ -256,6 +272,23 @@ pub struct MdsServer {
     /// Admission queue (CPU capacity model).
     pub(crate) ingress: crate::ingress::Ingress,
 
+    // ---- adaptive commit pipeline ----
+    /// Flush-cadence controller (drives `T_FLUSH` when
+    /// `timing.adaptive_commit` is on).
+    pub(crate) commit: crate::commit::GroupCommitPolicy,
+    /// When the ingress queue was last drained; the next drain's budget is
+    /// the elapsed wall time, so the CPU model's service rate is invariant
+    /// under the adaptive tick cadence.
+    pub(crate) last_drain_at: SimTime,
+    /// `ingress.admitted()` at the previous tick (arrival-rate signal).
+    pub(crate) last_admitted: u64,
+    /// Speculative reads whose `min_token` is ahead of the applied txid
+    /// watermark. Served when the watermark catches up; any wait still
+    /// unsatisfied at the next flush tick is answered with the current
+    /// watermark — a token below the request's `min_token` tells the
+    /// client its speculative timeline was discarded (failover).
+    pub(crate) token_waits: Vec<(u64, NodeId, u64, crate::proto::FsOp)>,
+
     // ---- pool plumbing ----
     pub(crate) pool_pending: HashMap<ReqId, PoolCtx>,
     pub(crate) next_pool_req: ReqId,
@@ -288,6 +321,11 @@ pub struct MdsServer {
 impl MdsServer {
     pub fn new(cfg: MdsConfig) -> Self {
         let coord = CoordClient::new(cfg.coord, cfg.timing.heartbeat);
+        let commit = crate::commit::GroupCommitPolicy::new(
+            cfg.timing.flush_interval,
+            cfg.timing.flush_min,
+            cfg.timing.flush_max,
+        );
         let role = match cfg.initial_role {
             InitialRole::Active => Role::Standby, // becomes Active via the lock
             InitialRole::Standby => Role::Standby,
@@ -326,6 +364,10 @@ impl MdsServer {
             catchup: None,
             elect: None,
             ingress: crate::ingress::Ingress::default(),
+            commit,
+            last_drain_at: SimTime::ZERO,
+            last_admitted: 0,
+            token_waits: Vec::new(),
             pool_pending: HashMap::new(),
             next_pool_req: 1,
             pool_rr: 0,
@@ -530,8 +572,31 @@ impl Node for MdsServer {
         }
         match token {
             T_FLUSH => {
+                let now = ctx.now();
+                let elapsed = now.since(self.last_drain_at);
+                self.last_drain_at = now;
+                let admitted = self.ingress.admitted();
+                let arrived = admitted - self.last_admitted;
+                self.last_admitted = admitted;
+                let mut next = self.cfg.timing.flush_interval;
                 if self.role == Role::Active {
-                    let budget = self.cfg.timing.flush_interval;
+                    let adaptive = self.cfg.timing.adaptive_commit;
+                    self.commit.observe_tick(arrived, elapsed);
+                    // Token waits left over from the previous tick: serve
+                    // what the watermark now covers, answer the rest with
+                    // the current (regressed) watermark.
+                    self.answer_token_waits(ctx);
+                    // The drain budget is the elapsed wall time — not the
+                    // tick interval — so the CPU model's service rate is
+                    // the same whether the controller ticks every 250µs or
+                    // every 8ms. Bounded by `flush_max` so a tick delayed
+                    // past the cadence (promotion, timer skew) cannot
+                    // burst beyond the modeled capacity.
+                    let budget = if adaptive {
+                        elapsed.min(self.cfg.timing.flush_max)
+                    } else {
+                        self.cfg.timing.flush_interval
+                    };
                     let mut cpu = self.cfg.timing.cpu;
                     // Journal fan-out: every mutation is serialized and
                     // sent to each hot standby.
@@ -540,8 +605,8 @@ impl Node for MdsServer {
                     let drained = self.ingress.drain(budget, cpu);
                     for item in self.fan_out_by_shard(drained) {
                         match item {
-                            crate::ingress::IngressItem::Client { from, op, seq } => {
-                                self.serve_op(ctx, from, op, seq)
+                            crate::ingress::IngressItem::Client { from, op, seq, spec } => {
+                                self.serve_op(ctx, from, op, seq, spec)
                             }
                             crate::ingress::IngressItem::Leg { coordinator, xid, op } => {
                                 self.serve_leg(ctx, coordinator, xid, op)
@@ -549,8 +614,11 @@ impl Node for MdsServer {
                         }
                     }
                     self.flush_batch(ctx);
+                    if adaptive {
+                        next = self.commit.next_interval(self.ingress.len());
+                    }
                 }
-                ctx.set_timer(self.cfg.timing.flush_interval, T_FLUSH);
+                ctx.set_timer(next, T_FLUSH);
             }
             T_RENEW_SCAN => {
                 if self.role == Role::Active {

@@ -182,11 +182,12 @@ fn coordination_service_restart_heals_without_split_brain() {
     let coord = d.coord;
     let everyone_else: Vec<_> =
         (0..sim.num_nodes() as mams_sim::NodeId).filter(|&n| n != coord).collect();
+    let now = sim.now();
     mams_cluster::faults::schedule_partition(
         &mut sim,
         vec![coord],
         everyone_else,
-        sim.now(),
+        now,
         Some(Duration::from_secs(12)),
     );
     sim.run_for(Duration::from_secs(42));

@@ -1,12 +1,24 @@
-//! Model-based property test: the namespace tree vs a flat reference model
-//! (a set of absolute paths with kinds). Every operation must agree with
-//! the model on success/failure *and* on the resulting state.
+//! Model-based randomized test: the namespace tree vs a flat reference
+//! model (a set of absolute paths with kinds). Every operation must agree
+//! with the model on success/failure *and* on the resulting state.
+//!
+//! These are seeded randomized tests, not `proptest` suites: the vendored
+//! `proptest` crate is an intentionally empty stand-in (see
+//! `vendor/proptest`), so property coverage comes from the vendored `rand`
+//! with fixed seeds — deterministic, shrink-free, CI-friendly.
+//! `PARITY_CASES` scales the number of cases (nightly runs more).
 
 use std::collections::BTreeMap;
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use mams::namespace::NamespaceTree;
+
+/// Cases per test; override with `PARITY_CASES` (nightly runs elevated).
+fn cases() -> u64 {
+    std::env::var("PARITY_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256)
+}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Kind {
@@ -135,35 +147,32 @@ enum Op {
     List(String),
 }
 
-fn small_path() -> impl Strategy<Value = String> {
-    // A tiny alphabet so ops collide often (the interesting cases).
-    prop::collection::vec(
-        prop_oneof![
-            "a".prop_map(String::from),
-            "b".prop_map(String::from),
-            "c".prop_map(String::from)
-        ],
-        1..4,
-    )
-    .prop_map(|c| format!("/{}", c.join("/")))
+/// A path from a tiny alphabet (a/b/c, depth 1..=3) so ops collide often —
+/// the interesting cases.
+fn small_path(rng: &mut SmallRng) -> String {
+    const NAMES: [&str; 3] = ["a", "b", "c"];
+    let depth = rng.gen_range(1..4usize);
+    let comps: Vec<&str> = (0..depth).map(|_| NAMES[rng.gen_range(0..NAMES.len())]).collect();
+    format!("/{}", comps.join("/"))
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        small_path().prop_map(Op::Create),
-        small_path().prop_map(Op::Mkdir),
-        (small_path(), any::<bool>()).prop_map(|(p, r)| Op::Delete(p, r)),
-        (small_path(), small_path()).prop_map(|(s, d)| Op::Rename(s, d)),
-        small_path().prop_map(Op::GetInfo),
-        small_path().prop_map(Op::List),
-    ]
+fn rand_op(rng: &mut SmallRng) -> Op {
+    match rng.gen_range(0..6u32) {
+        0 => Op::Create(small_path(rng)),
+        1 => Op::Mkdir(small_path(rng)),
+        2 => Op::Delete(small_path(rng), rng.gen_bool(0.5)),
+        3 => Op::Rename(small_path(rng), small_path(rng)),
+        4 => Op::GetInfo(small_path(rng)),
+        _ => Op::List(small_path(rng)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn tree_agrees_with_the_reference_model(ops in prop::collection::vec(arb_op(), 1..200)) {
+#[test]
+fn tree_agrees_with_the_reference_model() {
+    for case in 0..cases() {
+        let mut rng = SmallRng::seed_from_u64(0x4d0de1 ^ (case << 8));
+        let n_ops = rng.gen_range(1..200usize);
+        let ops: Vec<Op> = (0..n_ops).map(|_| rand_op(&mut rng)).collect();
         let mut tree = NamespaceTree::new();
         let mut model = Model::default();
         for op in &ops {
@@ -171,36 +180,43 @@ proptest! {
                 Op::Create(p) => {
                     let t = tree.create(p, 1).is_ok();
                     let m = model.create(p);
-                    prop_assert_eq!(t, m, "create {} disagreed", p);
+                    assert_eq!(t, m, "case {case}: create {p} disagreed");
                 }
                 Op::Mkdir(p) => {
                     let t = tree.mkdir(p).is_ok();
                     let m = model.mkdir(p);
-                    prop_assert_eq!(t, m, "mkdir {} disagreed", p);
+                    assert_eq!(t, m, "case {case}: mkdir {p} disagreed");
                 }
                 Op::Delete(p, r) => {
                     let t = tree.delete(p, *r).is_ok();
                     let m = model.delete(p, *r);
-                    prop_assert_eq!(t, m, "delete {} (r={}) disagreed", p, r);
+                    assert_eq!(t, m, "case {case}: delete {p} (r={r}) disagreed");
                 }
                 Op::Rename(s, d) => {
                     let t = tree.rename(s, d).is_ok();
                     let m = model.rename(s, d);
-                    prop_assert_eq!(t, m, "rename {} -> {} disagreed", s, d);
+                    assert_eq!(t, m, "case {case}: rename {s} -> {d} disagreed");
                 }
                 Op::GetInfo(p) => {
                     let t = tree.getfileinfo(p);
-                    prop_assert_eq!(t.is_ok(), model.exists(p), "getfileinfo {} disagreed", p);
+                    assert_eq!(
+                        t.is_ok(),
+                        model.exists(p),
+                        "case {case}: getfileinfo {p} disagreed"
+                    );
                     if let Ok(info) = t {
                         if p != "/" {
                             let kind = model.entries[p.as_str()];
-                            prop_assert_eq!(info.is_dir, kind == Kind::Dir);
+                            assert_eq!(info.is_dir, kind == Kind::Dir);
                         }
                     }
                 }
                 Op::List(p) => {
                     if let Ok(mut names) = tree.list(p) {
-                        prop_assert_eq!(model.entries.get(p.as_str()).copied(), if p == "/" { None } else { Some(Kind::Dir) });
+                        assert_eq!(
+                            model.entries.get(p.as_str()).copied(),
+                            if p == "/" { None } else { Some(Kind::Dir) }
+                        );
                         let mut expected: Vec<String> = model
                             .children(p)
                             .iter()
@@ -208,7 +224,7 @@ proptest! {
                             .collect();
                         names.sort();
                         expected.sort();
-                        prop_assert_eq!(names, expected, "list {} disagreed", p);
+                        assert_eq!(names, expected, "case {case}: list {p} disagreed");
                     }
                 }
             }
@@ -216,7 +232,7 @@ proptest! {
         // Final shape agreement.
         let files = model.entries.values().filter(|&&k| k == Kind::File).count() as u64;
         let dirs = model.entries.values().filter(|&&k| k == Kind::Dir).count() as u64;
-        prop_assert_eq!(tree.num_files(), files);
-        prop_assert_eq!(tree.num_dirs(), dirs);
+        assert_eq!(tree.num_files(), files, "case {case}");
+        assert_eq!(tree.num_dirs(), dirs, "case {case}");
     }
 }

@@ -1,11 +1,20 @@
-//! Property test for Paxos safety: with competing proposers and arbitrary
+//! Randomized test for Paxos safety: with competing proposers and arbitrary
 //! message interleavings, at most one value is ever chosen per instance —
 //! the guarantee MAMS leans on for "only one active is elected each time".
+//!
+//! Seeded randomized coverage (the vendored `proptest` is an empty
+//! stand-in); `PARITY_CASES` scales the number of cases.
 
 use bytes::Bytes;
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use mams::paxos::{Acceptor, Ballot, Proposer, ProposerEvent};
+
+/// Cases per test; override with `PARITY_CASES` (nightly runs elevated).
+fn cases() -> u64 {
+    std::env::var("PARITY_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256)
+}
 
 #[derive(Debug, Clone)]
 struct Round {
@@ -17,19 +26,19 @@ struct Round {
     accept_order: Vec<usize>,
 }
 
-fn arb_round(n_acceptors: usize) -> impl Strategy<Value = Round> {
-    (
-        0u32..3,
-        1u64..6,
-        proptest::sample::subsequence((0..n_acceptors).collect::<Vec<_>>(), 0..=n_acceptors),
-        proptest::sample::subsequence((0..n_acceptors).collect::<Vec<_>>(), 0..=n_acceptors),
-    )
-        .prop_map(|(proposer, ballot_round, prepare_order, accept_order)| Round {
-            proposer,
-            ballot_round,
-            prepare_order,
-            accept_order,
-        })
+/// A random subsequence of `0..n` (order preserved, each element kept with
+/// probability 1/2) — the acceptors one phase's messages actually reach.
+fn subsequence(rng: &mut SmallRng, n: usize) -> Vec<usize> {
+    (0..n).filter(|_| rng.gen_bool(0.5)).collect()
+}
+
+fn rand_round(rng: &mut SmallRng, n_acceptors: usize) -> Round {
+    Round {
+        proposer: rng.gen_range(0..3u32),
+        ballot_round: rng.gen_range(1..6u64),
+        prepare_order: subsequence(rng, n_acceptors),
+        accept_order: subsequence(rng, n_acceptors),
+    }
 }
 
 /// Drive one proposer round against shared acceptors with the given
@@ -62,37 +71,33 @@ fn drive(acceptors: &mut [Acceptor], round: &Round) -> Option<Bytes> {
     None
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn at_most_one_value_is_ever_chosen(
-        rounds in prop::collection::vec(arb_round(5), 1..12),
-    ) {
+#[test]
+fn at_most_one_value_is_ever_chosen() {
+    for case in 0..cases() {
+        let mut rng = SmallRng::seed_from_u64(0x9a1c05 ^ (case << 8));
+        let n_rounds = rng.gen_range(1..12usize);
         let mut acceptors = vec![Acceptor::new(); 5];
         let mut chosen: Option<Bytes> = None;
-        for round in &rounds {
-            if let Some(v) = drive(&mut acceptors, round) {
+        for r in 0..n_rounds {
+            let round = rand_round(&mut rng, 5);
+            if let Some(v) = drive(&mut acceptors, &round) {
                 match &chosen {
                     None => chosen = Some(v),
-                    Some(prev) => prop_assert_eq!(
-                        prev,
-                        &v,
-                        "two different values chosen: {:?} then {:?}",
-                        prev,
-                        v
-                    ),
+                    Some(prev) => {
+                        assert_eq!(prev, &v, "case {case} round {r}: two different values chosen")
+                    }
                 }
             }
         }
     }
+}
 
-    /// Once a quorum has accepted a value, every later successful round
-    /// must choose that same value (the adoption rule works).
-    #[test]
-    fn chosen_values_are_stable_under_later_rounds(
-        later in prop::collection::vec(arb_round(3), 1..8),
-    ) {
+/// Once a quorum has accepted a value, every later successful round must
+/// choose that same value (the adoption rule works).
+#[test]
+fn chosen_values_are_stable_under_later_rounds() {
+    for case in 0..cases() {
+        let mut rng = SmallRng::seed_from_u64(0x9a1c06 ^ (case << 8));
         let mut acceptors = vec![Acceptor::new(); 3];
         // Choose "first" with a full round.
         let first = drive(
@@ -105,9 +110,11 @@ proptest! {
             },
         )
         .expect("uncontended round chooses");
-        for round in &later {
-            if let Some(v) = drive(&mut acceptors, round) {
-                prop_assert_eq!(&first, &v, "a later round overwrote the chosen value");
+        let n_rounds = rng.gen_range(1..8usize);
+        for r in 0..n_rounds {
+            let round = rand_round(&mut rng, 3);
+            if let Some(v) = drive(&mut acceptors, &round) {
+                assert_eq!(first, v, "case {case} round {r}: later round overwrote the choice");
             }
         }
     }

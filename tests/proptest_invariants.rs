@@ -1,44 +1,71 @@
-//! Property-based tests for the core data structures and invariants
+//! Randomized tests for the core data structures and invariants
 //! (DESIGN.md §4): encode/decode round trips, replay determinism, duplicate
 //! suppression, partition stability.
+//!
+//! These are seeded randomized tests, not `proptest` suites: the vendored
+//! `proptest` crate is an intentionally empty stand-in (see
+//! `vendor/proptest`), so property coverage comes from the vendored `rand`
+//! with fixed seeds — deterministic, shrink-free, CI-friendly.
+//! `PARITY_CASES` overrides the per-test case count (nightly runs more).
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use mams::journal::{
     decode_batch, encode_batch, AppendOutcome, JournalBatch, JournalLog, ReplayCursor, Txn,
 };
 use mams::namespace::{decode_image, encode_image, NamespaceTree, Partitioner};
 
-// ---------------------------------------------------------- strategies
-
-fn path_component() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9]{0,5}".prop_map(|s| s)
+/// Cases for a test defaulting to `default`; `PARITY_CASES` overrides.
+fn cases(default: u64) -> u64 {
+    std::env::var("PARITY_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
-fn abs_path(max_depth: usize) -> impl Strategy<Value = String> {
-    prop::collection::vec(path_component(), 1..=max_depth)
-        .prop_map(|comps| format!("/{}", comps.join("/")))
+// ---------------------------------------------------------- generators
+
+/// `[a-z][a-z0-9]{0,2}` — a small alphabet so paths collide often.
+fn path_component(rng: &mut SmallRng) -> String {
+    const HEAD: &[u8] = b"abcdefgh";
+    const TAIL: &[u8] = b"ab012";
+    let mut s = String::new();
+    s.push(HEAD[rng.gen_range(0..HEAD.len())] as char);
+    for _ in 0..rng.gen_range(0..3u32) {
+        s.push(TAIL[rng.gen_range(0..TAIL.len())] as char);
+    }
+    s
 }
 
-fn arb_txn() -> impl Strategy<Value = Txn> {
-    prop_oneof![
-        (abs_path(4), 1u8..=5).prop_map(|(path, replication)| Txn::Create { path, replication }),
-        abs_path(4).prop_map(|path| Txn::Mkdir { path }),
-        (abs_path(4), any::<bool>()).prop_map(|(path, recursive)| Txn::Delete { path, recursive }),
-        (abs_path(4), abs_path(4)).prop_map(|(src, dst)| Txn::Rename { src, dst }),
-        (abs_path(4), 1u64..1000, 1u32..1 << 20).prop_map(|(path, block_id, len)| Txn::AddBlock {
-            path,
-            block_id,
-            len
-        }),
-        abs_path(4).prop_map(|path| Txn::CloseFile { path }),
-        (abs_path(4), 0u16..0o777).prop_map(|(path, perm)| Txn::SetPerm { path, perm }),
-    ]
+fn abs_path(rng: &mut SmallRng, max_depth: usize) -> String {
+    let depth = rng.gen_range(1..max_depth as u64 + 1) as usize;
+    let comps: Vec<String> = (0..depth).map(|_| path_component(rng)).collect();
+    format!("/{}", comps.join("/"))
 }
 
-fn arb_batch(sn: u64) -> impl Strategy<Value = JournalBatch> {
-    (prop::collection::vec(arb_txn(), 1..24), 1u64..1 << 40)
-        .prop_map(move |(records, txid)| JournalBatch::new(sn, txid, records))
+fn rand_txn(rng: &mut SmallRng) -> Txn {
+    match rng.gen_range(0..7u32) {
+        0 => Txn::Create { path: abs_path(rng, 4), replication: rng.gen_range(1..6u32) as u8 },
+        1 => Txn::Mkdir { path: abs_path(rng, 4) },
+        2 => Txn::Delete { path: abs_path(rng, 4), recursive: rng.gen_bool(0.5) },
+        3 => Txn::Rename { src: abs_path(rng, 4), dst: abs_path(rng, 4) },
+        4 => Txn::AddBlock {
+            path: abs_path(rng, 4),
+            block_id: rng.gen_range(1..1000u64),
+            len: rng.gen_range(1..1u32 << 20),
+        },
+        5 => Txn::CloseFile { path: abs_path(rng, 4) },
+        _ => Txn::SetPerm { path: abs_path(rng, 4), perm: rng.gen_range(0..0o777u32) as u16 },
+    }
+}
+
+fn rand_txns(rng: &mut SmallRng, lo: usize, hi: usize) -> Vec<Txn> {
+    let n = rng.gen_range(lo..hi);
+    (0..n).map(|_| rand_txn(rng)).collect()
+}
+
+fn rand_batch(rng: &mut SmallRng, sn: u64) -> JournalBatch {
+    let records = rand_txns(rng, 1, 24);
+    let txid = rng.gen_range(1..1u64 << 40);
+    JournalBatch::new(sn, txid, records)
 }
 
 /// A random sequence of *valid* operations: ops are generated blind but
@@ -55,86 +82,84 @@ fn apply_random_ops(tree: &mut NamespaceTree, ops: &[Txn]) -> Vec<Txn> {
 
 // -------------------------------------------------------------- journal
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn journal_batch_round_trips(batch in arb_batch(7)) {
+#[test]
+fn journal_batch_round_trips() {
+    for case in 0..cases(128) {
+        let mut rng = SmallRng::seed_from_u64(0x10_0001 ^ (case << 8));
+        let batch = rand_batch(&mut rng, 7);
         let encoded = encode_batch(&batch);
         let decoded = decode_batch(encoded).expect("round trip");
-        prop_assert_eq!(decoded, batch);
+        assert_eq!(decoded, batch, "case {case}");
     }
+}
 
-    #[test]
-    fn journal_corruption_never_passes_silently(
-        batch in arb_batch(3),
-        flip in any::<prop::sample::Index>(),
-    ) {
+#[test]
+fn journal_corruption_never_passes_silently() {
+    for case in 0..cases(128) {
+        let mut rng = SmallRng::seed_from_u64(0x10_0002 ^ (case << 8));
+        let batch = rand_batch(&mut rng, 3);
         let encoded = encode_batch(&batch);
         let mut bytes = encoded.to_vec();
-        let i = flip.index(bytes.len());
+        let i = rng.gen_range(0..bytes.len());
         bytes[i] ^= 0x5a;
         // Either an error, or (never) a silently different batch.
         if let Ok(decoded) = decode_batch(bytes::Bytes::from(bytes)) {
-            prop_assert_eq!(decoded, batch, "corruption must not yield a different batch");
+            assert_eq!(decoded, batch, "case {case}: corruption yielded a different batch");
         }
     }
+}
 
-    #[test]
-    fn log_append_is_idempotent_and_contiguous(batches in prop::collection::vec(arb_batch(1), 1..8)) {
-        // Renumber to a contiguous run.
-        let batches: Vec<JournalBatch> = batches
-            .into_iter()
-            .enumerate()
-            .map(|(i, mut b)| {
-                b.sn = i as u64 + 1;
-                b
-            })
-            .collect();
+#[test]
+fn log_append_is_idempotent_and_contiguous() {
+    for case in 0..cases(128) {
+        let mut rng = SmallRng::seed_from_u64(0x10_0003 ^ (case << 8));
+        let n = rng.gen_range(1..8usize);
+        let batches: Vec<JournalBatch> =
+            (0..n).map(|i| rand_batch(&mut rng, i as u64 + 1)).collect();
         let mut log = JournalLog::new();
         for b in &batches {
-            prop_assert_eq!(log.append(b.clone()).unwrap(), AppendOutcome::Appended);
+            assert_eq!(log.append(b.clone()).unwrap(), AppendOutcome::Appended, "case {case}");
         }
         // Every duplicate is ignored.
         for b in &batches {
-            prop_assert_eq!(log.append(b.clone()).unwrap(), AppendOutcome::Duplicate);
+            assert_eq!(log.append(b.clone()).unwrap(), AppendOutcome::Duplicate, "case {case}");
         }
-        prop_assert_eq!(log.tail_sn(), batches.len() as u64);
+        assert_eq!(log.tail_sn(), batches.len() as u64);
         // Suffix reads see exactly the right batches.
         for after in 0..=batches.len() {
             let tail = log.read_after(after as u64).unwrap();
-            prop_assert_eq!(tail.len(), batches.len() - after);
+            assert_eq!(tail.len(), batches.len() - after, "case {case}");
         }
     }
 }
 
 // ------------------------------------------- journal wire format v1/v2
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The legacy length-prefixed v1 wire form and the varint +
-    /// prefix-compressed v2 form of the same batch decode to identical
-    /// records through the one version-dispatching entry point.
-    #[test]
-    fn journal_v1_and_v2_wire_decode_agree(batch in arb_batch(5)) {
+/// The legacy length-prefixed v1 wire form and the varint +
+/// prefix-compressed v2 form of the same batch decode to identical records
+/// through the one version-dispatching entry point.
+#[test]
+fn journal_v1_and_v2_wire_decode_agree() {
+    for case in 0..cases(128) {
+        let mut rng = SmallRng::seed_from_u64(0x10_0004 ^ (case << 8));
+        let batch = rand_batch(&mut rng, 5);
         let v1 = mams::journal::encode_batch_v1(&batch);
         let v2 = encode_batch(&batch);
         let from_v1 = decode_batch(v1).expect("v1 decodes");
         let from_v2 = decode_batch(v2).expect("v2 decodes");
-        prop_assert_eq!(&from_v1, &batch);
-        prop_assert_eq!(&from_v2, &batch);
+        assert_eq!(from_v1, batch, "case {case}");
+        assert_eq!(from_v2, batch, "case {case}");
     }
 }
 
 // ---------------------------------------------------- replay determinism
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Invariant 4: namespace(journal replay) == namespace(live execution).
-    #[test]
-    fn replay_reproduces_live_execution(ops in prop::collection::vec(arb_txn(), 1..120)) {
+/// Invariant 4: namespace(journal replay) == namespace(live execution).
+#[test]
+fn replay_reproduces_live_execution() {
+    for case in 0..cases(64) {
+        let mut rng = SmallRng::seed_from_u64(0x10_0005 ^ (case << 8));
+        let ops = rand_txns(&mut rng, 1, 120);
         let mut live = NamespaceTree::new();
         let journaled = apply_random_ops(&mut live, &ops);
 
@@ -142,22 +167,29 @@ proptest! {
         for txn in &journaled {
             replayed.apply(txn).expect("journaled txns always replay");
         }
-        prop_assert_eq!(live.fingerprint(), replayed.fingerprint());
-        prop_assert_eq!(live.num_files(), replayed.num_files());
-        prop_assert_eq!(live.num_dirs(), replayed.num_dirs());
+        assert_eq!(live.fingerprint(), replayed.fingerprint(), "case {case}");
+        assert_eq!(live.num_files(), replayed.num_files(), "case {case}");
+        assert_eq!(live.num_dirs(), replayed.num_dirs(), "case {case}");
     }
+}
 
-    /// Invariant 3: offering batches with duplications and stale repeats
-    /// through the cursor yields the same state as a clean sequential
-    /// replay (sn-based duplicate suppression).
-    #[test]
-    fn cursor_suppresses_duplicates(
-        ops in prop::collection::vec(arb_txn(), 1..80),
-        dup_pattern in prop::collection::vec(0usize..4, 1..40),
-    ) {
+/// Invariant 3: offering batches with duplications and stale repeats
+/// through the cursor yields the same state as a clean sequential replay
+/// (sn-based duplicate suppression).
+#[test]
+fn cursor_suppresses_duplicates() {
+    for case in 0..cases(64) {
+        let mut rng = SmallRng::seed_from_u64(0x10_0006 ^ (case << 8));
+        let ops = rand_txns(&mut rng, 1, 80);
+        let dup_pattern: Vec<usize> = {
+            let n = rng.gen_range(1..40usize);
+            (0..n).map(|_| rng.gen_range(0..4usize)).collect()
+        };
         let mut source = NamespaceTree::new();
         let journaled = apply_random_ops(&mut source, &ops);
-        prop_assume!(!journaled.is_empty());
+        if journaled.is_empty() {
+            continue;
+        }
         // Pack into batches of 3.
         let batches: Vec<JournalBatch> = journaled
             .chunks(3)
@@ -169,7 +201,9 @@ proptest! {
         let mut clean = NamespaceTree::new();
         let mut cur = ReplayCursor::new();
         for b in &batches {
-            let mut sink = |_: u64, t: &Txn| { let _ = clean.apply(t); };
+            let mut sink = |_: u64, t: &Txn| {
+                let _ = clean.apply(t);
+            };
             cur.offer(b, &mut sink);
         }
 
@@ -177,39 +211,41 @@ proptest! {
         let mut messy = NamespaceTree::new();
         let mut cur2 = ReplayCursor::new();
         for (i, b) in batches.iter().enumerate() {
-            let mut sink = |_: u64, t: &Txn| { let _ = messy.apply(t); };
+            let mut sink = |_: u64, t: &Txn| {
+                let _ = messy.apply(t);
+            };
             cur2.offer(b, &mut sink);
             for &d in &dup_pattern {
                 if d <= i {
-                    let mut sink = |_: u64, t: &Txn| { let _ = messy.apply(t); };
+                    let mut sink = |_: u64, t: &Txn| {
+                        let _ = messy.apply(t);
+                    };
                     cur2.offer(&batches[d], &mut sink);
                 }
             }
         }
-        prop_assert_eq!(clean.fingerprint(), messy.fingerprint());
-        prop_assert_eq!(cur.max_sn(), cur2.max_sn());
+        assert_eq!(clean.fingerprint(), messy.fingerprint(), "case {case}");
+        assert_eq!(cur.max_sn(), cur2.max_sn(), "case {case}");
     }
 }
 
 // ------------------------------------------------------------- images
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Invariant: image encode/decode preserves the whole tree, and chunked
-    /// reassembly (the renewing transfer) is lossless at any chunk size.
-    #[test]
-    fn image_round_trips_and_chunks(
-        ops in prop::collection::vec(arb_txn(), 1..100),
-        chunk in 1u64..512,
-    ) {
+/// Invariant: image encode/decode preserves the whole tree, and chunked
+/// reassembly (the renewing transfer) is lossless at any chunk size.
+#[test]
+fn image_round_trips_and_chunks() {
+    for case in 0..cases(48) {
+        let mut rng = SmallRng::seed_from_u64(0x10_0007 ^ (case << 8));
+        let ops = rand_txns(&mut rng, 1, 100);
+        let chunk = rng.gen_range(1..512u64);
         let mut tree = NamespaceTree::new();
         apply_random_ops(&mut tree, &ops);
         let img = encode_image(&tree, 42);
 
         let (decoded, sn) = decode_image(img.data.clone()).expect("round trip");
-        prop_assert_eq!(sn, 42);
-        prop_assert_eq!(decoded.fingerprint(), tree.fingerprint());
+        assert_eq!(sn, 42);
+        assert_eq!(decoded.fingerprint(), tree.fingerprint(), "case {case}");
 
         // Chunked reassembly.
         let mut buf = Vec::new();
@@ -223,43 +259,47 @@ proptest! {
             buf.extend_from_slice(&c);
         }
         let (rebuilt, _) = decode_image(bytes::Bytes::from(buf)).expect("chunked round trip");
-        prop_assert_eq!(rebuilt.fingerprint(), tree.fingerprint());
+        assert_eq!(rebuilt.fingerprint(), tree.fingerprint(), "case {case}");
     }
+}
 
-    /// The legacy full-path v1 encoding and the parent-id delta v2 encoding
-    /// of the same tree decode to identical namespaces, and v2 never comes
-    /// out larger than v1.
-    #[test]
-    fn v1_and_v2_images_decode_to_the_same_tree(
-        ops in prop::collection::vec(arb_txn(), 1..100),
-    ) {
+/// The legacy full-path v1 encoding and the parent-id delta v2 encoding of
+/// the same tree decode to identical namespaces, and v2 never comes out
+/// larger than v1.
+#[test]
+fn v1_and_v2_images_decode_to_the_same_tree() {
+    for case in 0..cases(48) {
+        let mut rng = SmallRng::seed_from_u64(0x10_0008 ^ (case << 8));
+        let ops = rand_txns(&mut rng, 1, 100);
         let mut tree = NamespaceTree::new();
         apply_random_ops(&mut tree, &ops);
 
         let v1 = mams::namespace::encode_image_v1(&tree, 7);
         let v2 = encode_image(&tree, 7);
-        prop_assert_eq!(v1.version(), Some(mams::namespace::VERSION_V1));
-        prop_assert_eq!(v2.version(), Some(mams::namespace::VERSION_V2));
-        prop_assert!(v2.size_bytes() <= v1.size_bytes());
+        assert_eq!(v1.version(), Some(mams::namespace::VERSION_V1));
+        assert_eq!(v2.version(), Some(mams::namespace::VERSION_V2));
+        assert!(v2.size_bytes() <= v1.size_bytes(), "case {case}");
 
         let (from_v1, sn1) = decode_image(v1.data.clone()).expect("v1 decodes");
         let (from_v2, sn2) = decode_image(v2.data.clone()).expect("v2 decodes");
-        prop_assert_eq!(sn1, 7);
-        prop_assert_eq!(sn2, 7);
-        prop_assert_eq!(from_v1.fingerprint(), tree.fingerprint());
-        prop_assert_eq!(from_v2.fingerprint(), tree.fingerprint());
+        assert_eq!(sn1, 7);
+        assert_eq!(sn2, 7);
+        assert_eq!(from_v1.fingerprint(), tree.fingerprint(), "case {case}");
+        assert_eq!(from_v2.fingerprint(), tree.fingerprint(), "case {case}");
     }
+}
 
-    /// Pushing an image through the streaming decoder in arbitrary-sized
-    /// chunks yields exactly the buffered decode, for both wire versions.
-    #[test]
-    fn streaming_decode_matches_buffered_at_any_chunk_size(
-        ops in prop::collection::vec(arb_txn(), 1..100),
-        chunk in 1usize..300,
-        legacy in any::<bool>(),
-    ) {
+/// Pushing an image through the streaming decoder in arbitrary-sized chunks
+/// yields exactly the buffered decode, for both wire versions.
+#[test]
+fn streaming_decode_matches_buffered_at_any_chunk_size() {
+    for case in 0..cases(48) {
         use mams::namespace::StreamingImageDecoder;
 
+        let mut rng = SmallRng::seed_from_u64(0x10_0009 ^ (case << 8));
+        let ops = rand_txns(&mut rng, 1, 100);
+        let chunk = rng.gen_range(1..300usize);
+        let legacy = rng.gen_bool(0.5);
         let mut tree = NamespaceTree::new();
         apply_random_ops(&mut tree, &ops);
         let img = if legacy {
@@ -274,17 +314,17 @@ proptest! {
             dec.push(piece).expect("valid image streams cleanly");
             pushed += piece.len() as u64;
             let (off, _) = dec.checkpoint();
-            prop_assert_eq!(off, pushed);
+            assert_eq!(off, pushed, "case {case}");
         }
         let (streamed, sn) = dec.finish().expect("stream finish");
-        prop_assert_eq!(sn, 9);
+        assert_eq!(sn, 9);
 
         let (buffered, _) = decode_image(img.data.clone()).expect("buffered decode");
-        prop_assert_eq!(streamed.fingerprint(), buffered.fingerprint());
-        prop_assert_eq!(streamed.fingerprint(), tree.fingerprint());
+        assert_eq!(streamed.fingerprint(), buffered.fingerprint(), "case {case}");
+        assert_eq!(streamed.fingerprint(), tree.fingerprint(), "case {case}");
         // Re-encoding both yields the same bytes: the decoded trees are
         // structurally identical, not merely fingerprint-equal.
-        prop_assert_eq!(encode_image(&streamed, 9).data, encode_image(&buffered, 9).data);
+        assert_eq!(encode_image(&streamed, 9).data, encode_image(&buffered, 9).data);
     }
 }
 
@@ -303,18 +343,16 @@ fn txn_paths(op: &Txn) -> Vec<&str> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// The interned-name + parent-directory-cache fast path may never
-    /// disagree with a naive from-root component walk, at any point of a
-    /// random create/mkdir/rename/delete history. Probes cover hits,
-    /// misses, renamed-away sources, deleted subtrees, and every ancestor
-    /// prefix of each.
-    #[test]
-    fn cached_resolution_matches_from_root_walk(
-        ops in prop::collection::vec(arb_txn(), 1..150),
-    ) {
+/// The interned-name + parent-directory-cache fast path may never disagree
+/// with a naive from-root component walk, at any point of a random
+/// create/mkdir/rename/delete history. Probes cover hits, misses,
+/// renamed-away sources, deleted subtrees, and every ancestor prefix of
+/// each.
+#[test]
+fn cached_resolution_matches_from_root_walk() {
+    for case in 0..cases(96) {
+        let mut rng = SmallRng::seed_from_u64(0x10_000a ^ (case << 8));
+        let ops = rand_txns(&mut rng, 1, 150);
         let mut tree = NamespaceTree::new();
         for op in &ops {
             let _ = tree.apply(op);
@@ -323,10 +361,10 @@ proptest! {
             // in the final state.
             for p in txn_paths(op) {
                 for prefix in mams::namespace::path::prefixes(p) {
-                    prop_assert_eq!(
+                    assert_eq!(
                         tree.resolve_path(prefix),
                         tree.resolve_path_uncached(prefix),
-                        "fast path diverged on {:?} after {:?}", prefix, op
+                        "case {case}: fast path diverged on {prefix:?} after {op:?}"
                     );
                 }
             }
@@ -336,14 +374,14 @@ proptest! {
 
 // ------------------------------------------------- replay session parity
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The validate-skip `ReplaySession` fast path must land on exactly the
-    /// state a naive per-record `apply` produces, across histories whose
-    /// renames and deletes relocate or remove the cached directories.
-    #[test]
-    fn replay_session_matches_naive_apply(ops in prop::collection::vec(arb_txn(), 1..150)) {
+/// The validate-skip `ReplaySession` fast path must land on exactly the
+/// state a naive per-record `apply` produces, across histories whose
+/// renames and deletes relocate or remove the cached directories.
+#[test]
+fn replay_session_matches_naive_apply() {
+    for case in 0..cases(64) {
+        let mut rng = SmallRng::seed_from_u64(0x10_000b ^ (case << 8));
+        let ops = rand_txns(&mut rng, 1, 150);
         let mut live = NamespaceTree::new();
         let journaled = apply_random_ops(&mut live, &ops);
 
@@ -357,9 +395,9 @@ proptest! {
         for t in &journaled {
             session.apply(&mut fast, t).expect("journaled txns replay via the session");
         }
-        prop_assert_eq!(fast.fingerprint(), naive.fingerprint());
-        prop_assert_eq!(fast.num_files(), naive.num_files());
-        prop_assert_eq!(fast.num_dirs(), naive.num_dirs());
+        assert_eq!(fast.fingerprint(), naive.fingerprint(), "case {case}");
+        assert_eq!(fast.num_files(), naive.num_files(), "case {case}");
+        assert_eq!(fast.num_dirs(), naive.num_dirs(), "case {case}");
     }
 }
 
@@ -423,20 +461,21 @@ fn shared_batch_replays_identically_via_sync_and_pool_paths() {
 
 // ----------------------------------------------------------- partition
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Invariant 8: every path maps to exactly one group, stably, and
-    /// structural transactions touch every group.
-    #[test]
-    fn partitioning_is_stable_and_total(path in abs_path(6), groups in 1u32..8) {
+/// Invariant 8: every path maps to exactly one group, stably, and
+/// structural transactions touch every group.
+#[test]
+fn partitioning_is_stable_and_total() {
+    for case in 0..cases(128) {
+        let mut rng = SmallRng::seed_from_u64(0x10_000c ^ (case << 8));
+        let path = abs_path(&mut rng, 6);
+        let groups = rng.gen_range(1..8u32);
         let p = Partitioner::new(groups);
         let owner = p.owner(&path);
-        prop_assert!(owner < groups);
-        prop_assert_eq!(owner, p.owner(&path));
+        assert!(owner < groups, "case {case}");
+        assert_eq!(owner, p.owner(&path), "case {case}");
         let structural = Txn::Mkdir { path: path.clone() };
-        prop_assert_eq!(p.groups_for(&structural).len(), groups as usize);
+        assert_eq!(p.groups_for(&structural).len(), groups as usize, "case {case}");
         let file = Txn::Create { path, replication: 1 };
-        prop_assert_eq!(p.groups_for(&file), vec![owner]);
+        assert_eq!(p.groups_for(&file), vec![owner], "case {case}");
     }
 }
