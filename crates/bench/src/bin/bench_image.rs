@@ -15,8 +15,10 @@
 use std::time::Instant;
 
 use bytes::Bytes;
+use mams_journal::Txn;
 use mams_namespace::{
-    decode_image, encode_image, encode_image_v1, NamespaceTree, StreamingImageDecoder,
+    apply_delta, decode_delta, decode_image, encode_image, encode_image_v1, fold_delta,
+    NamespaceTree, StreamingImageDecoder,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -33,8 +35,9 @@ const CHUNK: usize = 64 * 1024;
 /// Deterministic tree with paper-like shape: two directory levels with
 /// realistic component names, `FILES_PER_DIR` files per leaf, 0–3 blocks
 /// per file.
-fn build_tree(target_files: u64, rng: &mut SmallRng) -> NamespaceTree {
+fn build_tree(target_files: u64, rng: &mut SmallRng) -> (NamespaceTree, Vec<String>) {
     let mut t = NamespaceTree::new();
+    let mut paths = Vec::with_capacity(target_files as usize);
     let leaf_dirs = (target_files / FILES_PER_DIR).max(1);
     let tops = ((leaf_dirs as f64).sqrt().ceil() as u64).max(1);
     let subs = leaf_dirs.div_ceil(tops);
@@ -56,6 +59,7 @@ fn build_tree(target_files: u64, rng: &mut SmallRng) -> NamespaceTree {
                 if rng.gen_range(0u32..100) < 80 {
                     t.close_file(&p).unwrap();
                 }
+                paths.push(p);
                 made += 1;
                 if made >= target_files {
                     break 'outer;
@@ -63,7 +67,42 @@ fn build_tree(target_files: u64, rng: &mut SmallRng) -> NamespaceTree {
             }
         }
     }
-    t
+    (t, paths)
+}
+
+/// A deterministic churn window: touch ~1% of existing files (perm flips
+/// and appended blocks) plus a fresh ingest directory, the shape a few
+/// seconds of mutations between delta cuts takes. Returns the journaled
+/// txns; `tree` ends at the post state the fold reads from.
+fn churn(tree: &mut NamespaceTree, paths: &[String], rng: &mut SmallRng) -> Vec<Txn> {
+    let k = (paths.len() / 100).max(64);
+    let mut txns = Vec::with_capacity(k + 1);
+    let mk = Txn::Mkdir { path: "/ingest".into() };
+    tree.apply(&mk).unwrap();
+    txns.push(mk);
+    let mut block = 1u64 << 40;
+    for i in 0..k {
+        let txn = match i % 4 {
+            0 => Txn::Create { path: format!("/ingest/part-{:06}.data", i / 4), replication: 3 },
+            1 => Txn::SetPerm {
+                path: paths[(i * 7919) % paths.len()].clone(),
+                perm: rng.gen_range(0..0o1000u32) as u16,
+            },
+            _ => {
+                block += 1;
+                Txn::AddBlock {
+                    path: paths[(i * 104_729) % paths.len()].clone(),
+                    block_id: block,
+                    len: 1 << 20,
+                }
+            }
+        };
+        // AddBlock on a sealed file fails; skip it like the active would.
+        if tree.apply(&txn).is_ok() {
+            txns.push(txn);
+        }
+    }
+    txns
 }
 
 /// Best-of-`reps` wall time of `f` in seconds.
@@ -88,12 +127,17 @@ struct ClassResult {
     decode_v1_s: f64,
     decode_v2_s: f64,
     decode_v2_streaming_s: f64,
+    churn_txns: u64,
+    delta_entries: u64,
+    delta_bytes: u64,
+    fold_s: f64,
+    delta_apply_s: f64,
 }
 
 fn run_class(class_mb: u64, reps: usize) -> ClassResult {
     let mut rng = SmallRng::seed_from_u64(SEED ^ class_mb);
     let target_files = (class_mb * 1024 * 1024) / V1_BYTES_PER_FILE;
-    let tree = build_tree(target_files, &mut rng);
+    let (tree, paths) = build_tree(target_files, &mut rng);
 
     let encode_v1_s = best_of(reps, || encode_image_v1(&tree, 1));
     let encode_v2_s = best_of(reps, || encode_image(&tree, 1));
@@ -117,6 +161,27 @@ fn run_class(class_mb: u64, reps: usize) -> ClassResult {
         assert_eq!(t.fingerprint(), fp, "decode mismatch at {class_mb} MB class");
     }
 
+    // Delta mode: fold a ~1% churn window into a delta image — the
+    // incremental checkpoint the active cuts between full images. Fold cost
+    // and delta size are what make the cadence cheap; apply cost is the
+    // junior's fast path.
+    let mut post = tree.clone();
+    let churn_txns = churn(&mut post, &paths, &mut rng);
+    let fold_s = best_of(reps, || fold_delta(&post, 1, 1 + churn_txns.len() as u64, &churn_txns));
+    let delta = fold_delta(&post, 1, 1 + churn_txns.len() as u64, &churn_txns);
+    let decoded = decode_delta(&delta.data).unwrap();
+    let delta_apply_s = {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let mut t = tree.clone();
+            let start = Instant::now();
+            apply_delta(&mut t, &decoded).unwrap();
+            best = best.min(start.elapsed().as_secs_f64());
+            assert_eq!(t.fingerprint(), post.fingerprint(), "delta apply mismatch");
+        }
+        best
+    };
+
     println!(
         "class {class_mb:>4} MB: {} files | v1 {:>4} MB, v2 {:>4} MB ({:.2}x smaller) | \
          decode v1 {:.3}s, v2 {:.3}s ({:.2}x), streaming {:.3}s | \
@@ -133,6 +198,16 @@ fn run_class(class_mb: u64, reps: usize) -> ClassResult {
         encode_v2_s,
         encode_v1_s / encode_v2_s,
     );
+    println!(
+        "  delta: {} txns fold to {} entries, {} KB ({:.0}x smaller than v2 image) | \
+         fold {:.4}s, apply {:.4}s",
+        churn_txns.len(),
+        delta.entries,
+        delta.size_bytes() >> 10,
+        v2.size_bytes() as f64 / delta.size_bytes() as f64,
+        fold_s,
+        delta_apply_s,
+    );
 
     ClassResult {
         class_mb,
@@ -145,6 +220,11 @@ fn run_class(class_mb: u64, reps: usize) -> ClassResult {
         decode_v1_s,
         decode_v2_s,
         decode_v2_streaming_s,
+        churn_txns: churn_txns.len() as u64,
+        delta_entries: delta.entries,
+        delta_bytes: delta.size_bytes(),
+        fold_s,
+        delta_apply_s,
     }
 }
 
@@ -170,7 +250,10 @@ fn main() {
              \"encode_v1_s\": {:.6},\n      \"encode_v2_s\": {:.6},\n      \
              \"encode_speedup_v2\": {:.3},\n      \
              \"decode_v1_s\": {:.6},\n      \"decode_v2_s\": {:.6},\n      \
-             \"decode_v2_streaming_s\": {:.6},\n      \"decode_speedup_v2\": {:.3}\n    }}{}\n",
+             \"decode_v2_streaming_s\": {:.6},\n      \"decode_speedup_v2\": {:.3},\n      \
+             \"churn_txns\": {},\n      \"delta_entries\": {},\n      \
+             \"delta_bytes\": {},\n      \"delta_vs_v2_size_ratio\": {:.1},\n      \
+             \"fold_s\": {:.6},\n      \"delta_apply_s\": {:.6}\n    }}{}\n",
             r.class_mb,
             r.files,
             r.dirs,
@@ -184,6 +267,12 @@ fn main() {
             r.decode_v2_s,
             r.decode_v2_streaming_s,
             r.decode_v1_s / r.decode_v2_s,
+            r.churn_txns,
+            r.delta_entries,
+            r.delta_bytes,
+            r.v2_bytes as f64 / r.delta_bytes as f64,
+            r.fold_s,
+            r.delta_apply_s,
             if i + 1 == results.len() { "" } else { "," }
         ));
     }

@@ -15,17 +15,28 @@
 //! - **cold**: wire bytes → decode + apply (the junior's catch-up path);
 //!   v1 wire + naive apply vs v2 wire + `ReplaySession`.
 //!
+//! The `--delta` mode adds the **delta catch-up** sweep: a junior restarting
+//! at the last checkpoint recovers either by fetching the latest *full*
+//! image (discarding its state) or by applying the folded *delta* covering
+//! the churn since its checkpoint — both followed by the same windowed
+//! journal tail. Recovery seconds and bytes fetched per 16/64/256 MB base
+//! class quantify the flat-MTTR claim: delta recovery cost tracks churn,
+//! not namespace size.
+//!
 //! Results go to `BENCH_replay.json` at the repo root so successive PRs can
 //! track the perf trajectory.
 //!
 //! Run from the repo root: `cargo run --release --bin bench_replay`
-//! (`--quick` shrinks the stream and reps — the CI smoke).
+//! (`--quick` shrinks the stream and reps — the CI smoke; `--delta --quick`
+//! adds the smallest delta catch-up class).
 
 use std::time::Instant;
 
 use bytes::Bytes;
 use mams_journal::{decode_batch, encode_batch, encode_batch_v1, JournalBatch, Txn};
-use mams_namespace::{NamespaceTree, ReplaySession};
+use mams_namespace::{
+    apply_delta, decode_delta, decode_image, encode_image, fold_delta, NamespaceTree, ReplaySession,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -112,8 +123,196 @@ fn best_of<S, T>(reps: usize, mut setup: impl FnMut() -> S, mut f: impl FnMut(S)
     best
 }
 
+// --------------------------------------------------------- delta catch-up
+
+/// Approximate v1 bytes per file (same sizing rule as `bench_image`, so the
+/// 16/64/256 MB classes line up across the two benches).
+const V1_BYTES_PER_FILE: u64 = 72;
+/// Files per leaf directory in the class-sized tree.
+const CLASS_FILES_PER_DIR: u64 = 256;
+
+/// Deterministic class-sized tree (the junior's checkpoint state) plus
+/// every file path, for churn targeting.
+fn build_class_tree(target_files: u64, rng: &mut SmallRng) -> (NamespaceTree, Vec<String>) {
+    let mut t = NamespaceTree::new();
+    let mut paths = Vec::with_capacity(target_files as usize);
+    let leaf_dirs = (target_files / CLASS_FILES_PER_DIR).max(1);
+    let tops = ((leaf_dirs as f64).sqrt().ceil() as u64).max(1);
+    let subs = leaf_dirs.div_ceil(tops);
+    let mut block = 1u64;
+    'outer: for d in 0..tops {
+        let top = format!("/project{d:04}");
+        t.mkdir(&top).unwrap();
+        for s in 0..subs {
+            let dir = format!("{top}/dataset{s:04}");
+            t.mkdir(&dir).unwrap();
+            for f in 0..CLASS_FILES_PER_DIR {
+                let p = format!("{dir}/part-{f:05}.data");
+                t.create(&p, 3).unwrap();
+                for _ in 0..rng.gen_range(0u32..4) {
+                    t.add_block(&p, block).unwrap();
+                    block += 1;
+                }
+                if rng.gen_range(0u32..100) < 80 {
+                    t.close_file(&p).unwrap();
+                }
+                paths.push(p);
+                if paths.len() as u64 >= target_files {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    (t, paths)
+}
+
+/// A ~1% churn window since the checkpoint: new ingest files, perm flips
+/// and block appends on existing files. Returns the committed txns; `tree`
+/// ends at the post state. `wave` keeps successive windows' ingest
+/// directories distinct.
+fn churn_window(
+    tree: &mut NamespaceTree,
+    paths: &[String],
+    rng: &mut SmallRng,
+    wave: u32,
+) -> Vec<Txn> {
+    let k = (paths.len() / 100).max(256);
+    let mut txns = Vec::with_capacity(k + 1);
+    let mk = Txn::Mkdir { path: format!("/ingest{wave}") };
+    tree.apply(&mk).unwrap();
+    txns.push(mk);
+    let mut block = (1u64 << 40) + (u64::from(wave) << 32);
+    for i in 0..k {
+        let txn = match i % 4 {
+            0 => Txn::Create {
+                path: format!("/ingest{wave}/part-{:06}.data", i / 4),
+                replication: 3,
+            },
+            1 => Txn::SetPerm {
+                path: paths[(i * 7919) % paths.len()].clone(),
+                perm: rng.gen_range(0..0o1000u32) as u16,
+            },
+            _ => {
+                block += 1;
+                Txn::AddBlock {
+                    path: paths[(i * 104_729) % paths.len()].clone(),
+                    block_id: block,
+                    len: 1 << 20,
+                }
+            }
+        };
+        // AddBlock on a sealed file fails; skip it like the active would.
+        if tree.apply(&txn).is_ok() {
+            txns.push(txn);
+        }
+    }
+    txns
+}
+
+struct DeltaClassResult {
+    class_mb: u64,
+    files: u64,
+    churn_txns: u64,
+    tail_txns: u64,
+    full_bytes_fetched: u64,
+    full_recovery_s: f64,
+    delta_bytes_fetched: u64,
+    delta_recovery_s: f64,
+}
+
+/// One delta catch-up class: a junior at the checkpoint recovers to the
+/// chain end + journal tail, via full-image fetch vs delta apply.
+fn run_delta_class(class_mb: u64, reps: usize, rng: &mut SmallRng) -> DeltaClassResult {
+    let target_files = (class_mb * 1024 * 1024) / V1_BYTES_PER_FILE;
+    let (base, paths) = build_class_tree(target_files, rng);
+    let base_sn = 1_000u64;
+
+    // Churn since the checkpoint, folded into the delta the producer cut.
+    let mut live = base.clone();
+    let churn = churn_window(&mut live, &paths, rng, 0);
+    let delta_end = base_sn + churn.len() as u64;
+    let delta = fold_delta(&live, base_sn, delta_end, &churn);
+
+    // The full-image path fetches the checkpoint the active would have had
+    // to cut at the same point.
+    let full_image = encode_image(&live, delta_end);
+
+    // Windowed journal tail past the chain end — both paths replay it.
+    let mut tail_rng = SmallRng::seed_from_u64(SEED ^ 0x7A11 ^ class_mb);
+    let tail = churn_window(&mut live, &paths, &mut tail_rng, 1);
+    let tail_wire: Vec<Bytes> = tail
+        .chunks(BATCH_OPS)
+        .enumerate()
+        .map(|(i, c)| encode_batch(&JournalBatch::new(delta_end + i as u64 + 1, 1, c.to_vec())))
+        .collect();
+    let tail_bytes: u64 = tail_wire.iter().map(|b| b.len() as u64).sum();
+    let expected_fp = live.fingerprint();
+
+    let replay_tail = |tree: &mut NamespaceTree| {
+        let mut session = ReplaySession::new();
+        for w in &tail_wire {
+            let b = decode_batch(w.clone()).unwrap();
+            for (_, t) in b.entries() {
+                session.apply(tree, t).unwrap();
+            }
+        }
+    };
+
+    // Full-image recovery: decode the latest checkpoint from wire bytes
+    // (the junior's prior state is discarded), then replay the tail.
+    let full_recovery_s = best_of(
+        reps,
+        || (),
+        |()| {
+            let (mut tree, sn) = decode_image(full_image.data.clone()).unwrap();
+            assert_eq!(sn, delta_end);
+            replay_tail(&mut tree);
+            assert_eq!(tree.fingerprint(), expected_fp, "full-image recovery divergence");
+            tree
+        },
+    );
+
+    // Delta recovery: the junior keeps its checkpoint state and applies the
+    // folded churn, then replays the same tail. The clone models the state
+    // it already holds and runs outside the clock.
+    let delta_recovery_s = best_of(
+        reps,
+        || base.clone(),
+        |mut tree| {
+            let d = decode_delta(&delta.data).unwrap();
+            apply_delta(&mut tree, &d).unwrap();
+            replay_tail(&mut tree);
+            assert_eq!(tree.fingerprint(), expected_fp, "delta recovery divergence");
+            tree
+        },
+    );
+
+    let r = DeltaClassResult {
+        class_mb,
+        files: base.num_files(),
+        churn_txns: churn.len() as u64,
+        tail_txns: tail.len() as u64,
+        full_bytes_fetched: full_image.size_bytes() + tail_bytes,
+        full_recovery_s,
+        delta_bytes_fetched: delta.size_bytes() + tail_bytes,
+        delta_recovery_s,
+    };
+    println!(
+        "delta catch-up {class_mb:>4} MB: full {:.3}s / {} MB fetched | \
+         delta {:.3}s / {} KB fetched | {:.1}x faster, {:.0}x fewer bytes",
+        r.full_recovery_s,
+        r.full_bytes_fetched >> 20,
+        r.delta_recovery_s,
+        r.delta_bytes_fetched >> 10,
+        r.full_recovery_s / r.delta_recovery_s,
+        r.full_bytes_fetched as f64 / r.delta_bytes_fetched as f64,
+    );
+    r
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let delta_mode = std::env::args().any(|a| a == "--delta");
     let (leaf_dirs, reps) = if quick { (64u64, 2usize) } else { (1024, 5) };
 
     let mut rng = SmallRng::seed_from_u64(SEED);
@@ -214,10 +413,21 @@ fn main() {
         cold_v1_naive_s / cold_v2_session_s,
     );
 
+    // Delta catch-up sweep: always in the full run, opt-in for the CI
+    // smoke via `--delta --quick`.
+    let delta_results: Vec<DeltaClassResult> = if delta_mode || !quick {
+        let classes: &[u64] = if quick { &[16] } else { &[16, 64, 256] };
+        let d_reps = if quick { 2 } else { 3 };
+        let mut d_rng = SmallRng::seed_from_u64(SEED ^ 0xDE17A);
+        classes.iter().map(|&mb| run_delta_class(mb, d_reps, &mut d_rng)).collect()
+    } else {
+        Vec::new()
+    };
+
     // Hand-rolled JSON: the offline serde_json stand-in cannot serialize,
     // and this document is the repo's perf trajectory — it must hold real
     // numbers in every environment.
-    let doc = format!(
+    let mut doc = format!(
         "{{\n  \"bench\": \"replay\",\n  \"seed\": {SEED},\n  \"reps\": {reps},\n  \
          \"records\": {records},\n  \"batches\": {},\n  \"batch_ops\": {BATCH_OPS},\n  \
          \"wire_v1_bytes\": {v1_bytes},\n  \"wire_v2_bytes\": {v2_bytes},\n  \
@@ -229,7 +439,7 @@ fn main() {
          \"cold_v2_session_s\": {cold_v2_session_s:.6},\n  \
          \"cold_v1_naive_records_per_s\": {:.0},\n  \
          \"cold_v2_session_records_per_s\": {:.0},\n  \
-         \"cold_speedup_v2_session\": {:.3}\n}}\n",
+         \"cold_speedup_v2_session\": {:.3}",
         batches.len(),
         v1_bytes as f64 / v2_bytes as f64,
         rate(live_naive_s),
@@ -239,6 +449,32 @@ fn main() {
         rate(cold_v2_session_s),
         cold_v1_naive_s / cold_v2_session_s,
     );
+    if !delta_results.is_empty() {
+        doc.push_str(",\n  \"delta_catchup\": [\n");
+        for (i, r) in delta_results.iter().enumerate() {
+            doc.push_str(&format!(
+                "    {{\n      \"class_mb\": {},\n      \"files\": {},\n      \
+                 \"churn_txns\": {},\n      \"tail_txns\": {},\n      \
+                 \"full_bytes_fetched\": {},\n      \"full_recovery_s\": {:.6},\n      \
+                 \"delta_bytes_fetched\": {},\n      \"delta_recovery_s\": {:.6},\n      \
+                 \"recovery_speedup_delta\": {:.3},\n      \
+                 \"bytes_ratio_full_over_delta\": {:.1}\n    }}{}\n",
+                r.class_mb,
+                r.files,
+                r.churn_txns,
+                r.tail_txns,
+                r.full_bytes_fetched,
+                r.full_recovery_s,
+                r.delta_bytes_fetched,
+                r.delta_recovery_s,
+                r.full_recovery_s / r.delta_recovery_s,
+                r.full_bytes_fetched as f64 / r.delta_bytes_fetched as f64,
+                if i + 1 == delta_results.len() { "" } else { "," }
+            ));
+        }
+        doc.push_str("  ]");
+    }
+    doc.push_str("\n}\n");
     let out = "BENCH_replay.json";
     std::fs::write(out, doc).expect("write BENCH_replay.json");
     println!("saved {out}");

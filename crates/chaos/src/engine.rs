@@ -218,6 +218,26 @@ fn apply(sim: &mut Sim, topo: &Topology, kind: &FaultKind) {
                     .record(now, u32::MAX, "chaos.corrupt_image", || format!("g{g} hit={hit}"));
             }
         }
+        FaultKind::CorruptDelta { group } => {
+            let g = *group;
+            let sp = TOPO_POOL.with(|p| p.borrow().clone());
+            if let Some(sp) = sp {
+                let hit = sp.lock().group_mut(g).corrupt_delta();
+                let now = sim.now();
+                sim.trace_mut()
+                    .record(now, u32::MAX, "chaos.corrupt_delta", || format!("g{g} hit={hit}"));
+            }
+        }
+        FaultKind::CompactPool { group } => {
+            let g = *group;
+            let sp = TOPO_POOL.with(|p| p.borrow().clone());
+            if let Some(sp) = sp {
+                let outcome = sp.lock().group_mut(g).compact();
+                let now = sim.now();
+                sim.trace_mut()
+                    .record(now, u32::MAX, "chaos.compact_pool", || format!("g{g} {outcome:?}"));
+            }
+        }
         FaultKind::ClearNetwork => {
             let net = sim.net_mut();
             net.heal_all();

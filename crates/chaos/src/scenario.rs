@@ -86,6 +86,18 @@ pub enum FaultKind {
     CorruptImage {
         group: u32,
     },
+    /// Flip a byte in a mid-chain delta artifact (silent corruption of an
+    /// incremental checkpoint; consumers must fall back down the recovery
+    /// ladder, never apply the damage).
+    CorruptDelta {
+        group: u32,
+    },
+    /// Force an immediate delta-chain compaction in the pool (races the
+    /// background sweep against whatever is in flight — failover, a junior
+    /// mid-stream with a cached manifest).
+    CompactPool {
+        group: u32,
+    },
     /// Heal all cuts, clear all shapes, zero global loss/dup.
     ClearNetwork,
 }
@@ -329,6 +341,65 @@ pub fn corpus() -> Vec<Scenario> {
             ]
         },
         ..base("corrupt_catchup", "")
+    });
+
+    v.push(Scenario {
+        juniors: 1,
+        tune: |mut t| {
+            // Fast full checkpoints plus an even faster delta cadence, and
+            // a low image gap so the renewing junior resolves the manifest
+            // chain (base + deltas) rather than journal-only catch-up.
+            t.renew_image_gap = 64;
+            t.checkpoint_interval = Some(Duration::from_secs(10));
+            t.delta_interval = Some(Duration::from_secs(2));
+            t
+        },
+        about: "flip a byte in a mid-chain delta artifact while a junior \
+                catches up over the manifest chain; the delta checksum must \
+                reject the damage and recovery must fall back down the \
+                ladder (journal from the base, or the full image) — never a \
+                stuck renewing session, never a divergent replica",
+        faults: |r| {
+            let t1 = jitter(r, 12_000, 3_000);
+            vec![
+                FaultAction::at(t1, FaultKind::CorruptDelta { group: 0 }),
+                FaultAction::at(t1 + 9_000, FaultKind::Crash(A0)),
+                FaultAction::at(
+                    t1 + 21_000,
+                    FaultKind::Restart(NodeRef::Member { group: 0, idx: 0 }),
+                ),
+            ]
+        },
+        ..base("delta_corrupt_catchup", "")
+    });
+
+    v.push(Scenario {
+        juniors: 1,
+        tune: |mut t| {
+            t.renew_image_gap = 64;
+            t.checkpoint_interval = Some(Duration::from_secs(8));
+            t.delta_interval = Some(Duration::from_secs(2));
+            t
+        },
+        about: "force a pool compaction right as the active dies (and again \
+                mid-recovery): the crash-safe manifest swap must never lose \
+                the chain, and a consumer holding a pre-compaction manifest \
+                must retry against the merged chain instead of wedging on a \
+                GC'd artifact",
+        faults: |r| {
+            let t1 = jitter(r, 14_000, 3_000);
+            vec![
+                FaultAction::at(t1, FaultKind::Crash(A0)),
+                FaultAction::at(t1 + 300, FaultKind::CompactPool { group: 0 }),
+                FaultAction::at(t1 + 6_000, FaultKind::CompactPool { group: 0 }),
+                FaultAction::at(
+                    t1 + 18_000,
+                    FaultKind::Restart(NodeRef::Member { group: 0, idx: 0 }),
+                ),
+                FaultAction::at(t1 + 20_000, FaultKind::CompactPool { group: 0 }),
+            ]
+        },
+        ..base("compaction_during_failover", "")
     });
 
     v.push(Scenario {

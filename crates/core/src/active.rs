@@ -756,6 +756,56 @@ impl MdsServer {
         );
     }
 
+    /// Incremental checkpoint: fold the journal range since the last
+    /// checkpoint artifact into a delta image and append it to the pool's
+    /// manifest chain. Cost is proportional to churn in the window, not to
+    /// namespace size — which is why it can run at a much faster cadence
+    /// than `start_checkpoint` and keep junior recovery time flat.
+    pub(crate) fn start_delta(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(anchor) = self.delta_anchor else {
+            // Nothing to chain onto yet: establish the chain with a full
+            // image (unless one is already in flight).
+            if !self.pool_pending.values().any(|c| matches!(c, PoolCtx::CheckpointWrite)) {
+                self.start_checkpoint(ctx);
+            }
+            return;
+        };
+        let end = self.cursor.max_sn();
+        if end <= anchor {
+            return; // no churn since the last artifact
+        }
+        if self
+            .pool_pending
+            .values()
+            .any(|c| matches!(c, PoolCtx::DeltaWrite | PoolCtx::CheckpointWrite))
+        {
+            // One artifact write at a time keeps the chain ordered; a delta
+            // folded while a full image is in flight would chain onto an
+            // anchor the image is about to supersede.
+            return;
+        }
+        let Some(batches) = self.log.read_after(anchor) else {
+            // Local log compacted past the anchor (a concurrent full
+            // checkpoint landed): re-anchor with a fresh image.
+            self.delta_anchor = None;
+            self.start_checkpoint(ctx);
+            return;
+        };
+        let txns =
+            batches.iter().filter(|b| b.sn <= end).flat_map(|b| b.entries().map(|(_, txn)| txn));
+        let delta = mams_namespace::fold_delta(&self.ns, anchor, end, txns);
+        ctx.trace("delta.start", || {
+            format!("({anchor}, {end}] {} entries {} B", delta.entries, delta.size_bytes())
+        });
+        let group = self.cfg.group;
+        let epoch = self.epoch;
+        self.pool_send(
+            ctx,
+            move |req| PoolReq::WriteDelta { group, epoch, delta, req },
+            PoolCtx::DeltaWrite,
+        );
+    }
+
     // ------------------------------------------------------ pool responses
 
     pub(crate) fn on_pool_resp(&mut self, ctx: &mut Ctx<'_>, resp: PoolResp) {
@@ -783,9 +833,31 @@ impl MdsServer {
             PoolCtx::CheckpointWrite => {
                 if let PoolResp::ImageWritten { checkpoint_sn, .. } = resp {
                     self.log.compact_through(checkpoint_sn);
+                    // The new base starts a fresh manifest chain; deltas
+                    // fold from here on.
+                    self.delta_anchor = Some(checkpoint_sn);
                     ctx.trace("checkpoint.done", || format!("sn {checkpoint_sn}"));
                 }
             }
+            PoolCtx::DeltaWrite => match resp {
+                PoolResp::DeltaWritten { end_sn, .. } => {
+                    self.delta_anchor = Some(end_sn);
+                    ctx.trace("delta.done", || format!("sn {end_sn}"));
+                }
+                PoolResp::Failed { error: PoolError::DeltaChain { .. }, .. } => {
+                    // The pool's chain moved under us (another writer's
+                    // checkpoint, a lost ack): our anchor is stale. Restart
+                    // the chain with a full image.
+                    ctx.trace("delta.rechain", String::new);
+                    self.delta_anchor = None;
+                    if self.role == crate::server::Role::Active {
+                        self.start_checkpoint(ctx);
+                    }
+                }
+                other => {
+                    ctx.trace("delta.error", || format!("{other:?}"));
+                }
+            },
             PoolCtx::GapRepair => {
                 if let PoolResp::Journal { batches, .. } = resp {
                     for b in batches {
@@ -804,8 +876,10 @@ impl MdsServer {
             }
             PoolCtx::EpochAdvance => self.on_epoch_advanced(ctx, resp),
             PoolCtx::UpgradeTail => self.on_upgrade_tail(ctx, resp),
-            PoolCtx::ImageMeta { for_upgrade } => self.on_image_meta(ctx, resp, for_upgrade),
-            PoolCtx::ImageChunk { for_upgrade } => self.on_image_chunk(ctx, resp, for_upgrade),
+            PoolCtx::Manifest { for_upgrade } => self.on_manifest(ctx, resp, for_upgrade),
+            PoolCtx::ArtifactChunk { for_upgrade } => {
+                self.on_artifact_chunk(ctx, resp, for_upgrade)
+            }
             PoolCtx::CatchupPage { for_upgrade } => self.on_catchup_page(ctx, resp, for_upgrade),
         }
     }

@@ -74,6 +74,12 @@ pub struct MdsTiming {
     /// explicit `MdsReq::Checkpoint`). Checkpoints compact the shared
     /// journal and bound junior recovery time.
     pub checkpoint_interval: Option<Duration>,
+    /// Incremental-checkpoint cadence: the active folds the journal range
+    /// since the last checkpoint artifact into a delta image and appends it
+    /// to the pool's manifest chain (`None` = full images only). Much
+    /// cheaper than a full image — cost is proportional to churn — so it
+    /// can run far more often, keeping junior recovery time flat.
+    pub delta_interval: Option<Duration>,
     /// Extra per-mutation CPU for each hot standby the active synchronizes
     /// (serialization + send per replica). This is what produces the
     /// paper's few-percent throughput decline per added standby (Fig. 5).
@@ -105,6 +111,7 @@ impl Default for MdsTiming {
             catchup_window: 4,
             cpu: crate::ingress::CpuModel::default(),
             checkpoint_interval: None,
+            delta_interval: None,
             sync_cpu_per_standby: Duration::from_micros(5),
             fault_double_ack: false,
         }

@@ -479,6 +479,9 @@ impl MdsServer {
         self.member_sns.clear();
         self.inflight.clear();
         self.catchup = None;
+        // The predecessor's manifest chain is not ours to extend: the first
+        // delta tick after promotion writes a fresh full image instead.
+        self.delta_anchor = None;
         self.coord.multi(
             ctx,
             vec![
@@ -672,6 +675,7 @@ impl MdsServer {
         // As active we mutated `ns` outside the replay session, so its
         // cached handles may be stale.
         self.replay.reset();
+        self.delta_anchor = None;
         self.role = Role::Junior;
         self.registered = false;
         self.announce_state(ctx);

@@ -16,6 +16,7 @@ use mams_journal::{JournalLog, ReplayCursor, SharedBatch, Sn};
 use mams_namespace::StreamingImageDecoder;
 use mams_sim::{Ctx, NodeId};
 use mams_storage::proto::{PoolReq, PoolResp};
+use mams_storage::{ArtifactId, ArtifactKind, ManifestEntry, PoolError};
 
 use crate::proto::GroupMsg;
 use crate::server::{Catchup, CatchupStage, MdsServer, PoolCtx, RenewDriver, Role};
@@ -134,10 +135,12 @@ impl MdsServer {
         ctx.trace("renew.begin", || format!("gap {gap}"));
         if let Some(c) = &self.catchup {
             // Resume an interrupted session from its checkpoint instead of
-            // retransmitting everything.
-            if let CatchupStage::Image { offset, .. } = &c.stage {
-                ctx.trace("renew.resume", || format!("image offset {offset}"));
-                self.request_image_meta(ctx, false);
+            // retransmitting everything. Re-resolving the manifest first
+            // confirms the planned artifacts still exist (compaction may
+            // have GC'd them while we were away).
+            if let CatchupStage::Chain { idx, offset, .. } = &c.stage {
+                ctx.trace("renew.resume", || format!("chain idx {idx} offset {offset}"));
+                self.request_manifest(ctx, false);
                 return;
             }
         }
@@ -150,31 +153,40 @@ impl MdsServer {
         }
     }
 
-    /// Begin (or resume) fetching the namespace image from the pool.
+    /// Begin (or resume) fetching checkpoint state from the pool. The
+    /// manifest decides what actually moves: the full base image only when
+    /// our state predates it, otherwise just the deltas past our sn —
+    /// recovery bytes proportional to churn, not namespace size.
     pub(crate) fn start_image_fetch(&mut self, ctx: &mut Ctx<'_>, for_upgrade: bool) {
-        let keep = matches!(&self.catchup, Some(Catchup { stage: CatchupStage::Image { .. }, .. }));
+        let keep = matches!(&self.catchup, Some(Catchup { stage: CatchupStage::Chain { .. } }));
         if !keep {
-            self.catchup = Some(Catchup { stage: CatchupStage::Meta });
+            self.catchup = Some(Catchup { stage: CatchupStage::Manifest });
         }
-        self.request_image_meta(ctx, for_upgrade);
+        self.request_manifest(ctx, for_upgrade);
     }
 
-    fn request_image_meta(&mut self, ctx: &mut Ctx<'_>, for_upgrade: bool) {
+    fn request_manifest(&mut self, ctx: &mut Ctx<'_>, for_upgrade: bool) {
         let group = self.cfg.group;
         self.pool_send(
             ctx,
-            move |req| PoolReq::ReadImageMeta { group, req },
-            PoolCtx::ImageMeta { for_upgrade },
+            move |req| PoolReq::ReadManifest { group, req },
+            PoolCtx::Manifest { for_upgrade },
         );
     }
 
-    fn request_image_chunk(&mut self, ctx: &mut Ctx<'_>, offset: u64, for_upgrade: bool) {
+    fn request_artifact_chunk(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        artifact: ArtifactId,
+        offset: u64,
+        for_upgrade: bool,
+    ) {
         let group = self.cfg.group;
         let len = self.cfg.timing.image_chunk;
         self.pool_send(
             ctx,
-            move |req| PoolReq::ReadImageChunk { group, offset, len, req },
-            PoolCtx::ImageChunk { for_upgrade },
+            move |req| PoolReq::ReadArtifactChunk { group, artifact, offset, len, req },
+            PoolCtx::ArtifactChunk { for_upgrade },
         );
     }
 
@@ -238,107 +250,178 @@ impl MdsServer {
         }
     }
 
-    pub(crate) fn on_image_meta(&mut self, ctx: &mut Ctx<'_>, resp: PoolResp, for_upgrade: bool) {
+    /// The pool's manifest chain arrived: plan which artifacts we need.
+    pub(crate) fn on_manifest(&mut self, ctx: &mut Ctx<'_>, resp: PoolResp, for_upgrade: bool) {
         if self.catchup.is_none() {
             return;
         }
-        match resp {
-            PoolResp::ImageMeta { meta: Some((image_sn, size)), .. } => {
-                if image_sn <= self.cursor.max_sn() {
-                    // We are already past the checkpoint: journal only.
-                    self.enter_journal_stage(ctx, for_upgrade, 0);
-                    return;
-                }
-                // Start or resume the chunked transfer.
-                let offset = match &self.catchup.as_ref().expect("checked").stage {
-                    CatchupStage::Image { offset, .. } => *offset,
-                    _ => {
-                        if let Some(c) = self.catchup.as_mut() {
-                            let mut decoder = Box::new(StreamingImageDecoder::new());
-                            decoder.reserve_hint(size);
-                            c.stage = CatchupStage::Image { offset: 0, decoder };
-                        }
-                        0
-                    }
-                };
-                self.request_image_chunk(ctx, offset, for_upgrade);
+        let manifest = match resp {
+            PoolResp::ManifestInfo { manifest, .. } => manifest,
+            other => {
+                ctx.trace("renew.manifest_error", || format!("{other:?}"));
+                return;
             }
-            _ => {
-                // No image in the pool: fall back to pure journal replay.
-                self.enter_journal_stage(ctx, for_upgrade, 0);
+        };
+        // Mid-chain resume: if everything we still need is listed in the
+        // fresh manifest, continue from the checkpointed offset instead of
+        // replanning (nothing was compacted away under us).
+        if let Some(Catchup { stage: CatchupStage::Chain { plan, idx, offset, .. } }) =
+            self.catchup.as_ref()
+        {
+            if *idx < plan.len()
+                && plan[*idx..].iter().all(|e| manifest.chain.iter().any(|m| m.id == e.id))
+            {
+                let (artifact, offset) = (plan[*idx].id, *offset);
+                self.request_artifact_chunk(ctx, artifact, offset, for_upgrade);
+                return;
+            }
+        }
+        let applied = self.cursor.max_sn();
+        if manifest.is_empty() || manifest.end_sn() <= applied {
+            // Nothing checkpointed past our state: journal replay only.
+            self.enter_journal_stage(ctx, for_upgrade, 0);
+            return;
+        }
+        let base_sn = manifest.base().expect("non-empty manifest").end_sn;
+        // The base moves only when our state predates it; a delta covering
+        // `(N, M]` applies from any applied sn in `[N, M]`
+        // (`mams_namespace::delta`'s apply-anywhere invariant), so every
+        // delta ending past our sn is both needed and applicable.
+        let plan: Vec<ManifestEntry> = manifest
+            .chain
+            .iter()
+            .filter(|e| match e.kind {
+                ArtifactKind::Base => applied < base_sn,
+                ArtifactKind::Delta => e.end_sn > applied,
+            })
+            .cloned()
+            .collect();
+        if plan.is_empty() {
+            self.enter_journal_stage(ctx, for_upgrade, 0);
+            return;
+        }
+        ctx.trace("renew.chain_plan", || {
+            let bytes: u64 = plan.iter().map(|e| e.bytes).sum();
+            format!(
+                "{} artifacts {} B (applied {applied}, chain end {})",
+                plan.len(),
+                bytes,
+                manifest.end_sn()
+            )
+        });
+        let first = plan[0].clone();
+        let decoder = (first.kind == ArtifactKind::Base).then(|| {
+            let mut d = Box::new(StreamingImageDecoder::new());
+            d.reserve_hint(first.bytes);
+            d
+        });
+        self.catchup = Some(Catchup {
+            stage: CatchupStage::Chain { plan, idx: 0, offset: 0, decoder, buf: Vec::new() },
+        });
+        self.request_artifact_chunk(ctx, first.id, 0, for_upgrade);
+    }
+
+    /// A chunk of the current chain artifact arrived.
+    pub(crate) fn on_artifact_chunk(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        resp: PoolResp,
+        for_upgrade: bool,
+    ) {
+        let (artifact, chunk_offset, data, total) = match resp {
+            PoolResp::ArtifactChunk { artifact, offset, data, total, .. } => {
+                (artifact, offset, data, total)
+            }
+            PoolResp::Failed { error: PoolError::NoSuchArtifact { id }, .. } => {
+                // Our manifest went stale: compaction GC'd the artifact
+                // between the plan and this read. Re-resolve and replan
+                // against the merged chain (satellite of the crash-safe
+                // compaction swap).
+                ctx.trace("renew.manifest_stale", || format!("artifact {id} gone"));
+                if let Some(Catchup { stage: CatchupStage::Chain { plan, .. } }) =
+                    self.catchup.as_mut()
+                {
+                    plan.clear(); // force a replan; resume check can't hold
+                }
+                self.request_manifest(ctx, for_upgrade);
+                return;
+            }
+            other => {
+                ctx.trace("renew.chunk_error", || format!("{other:?}"));
+                self.request_manifest(ctx, for_upgrade);
+                return;
+            }
+        };
+        // Feed the chunk into the current artifact's sink: the base goes
+        // straight into the streaming decoder (the tree is rebuilt as bytes
+        // arrive, no whole-image buffer); a delta accumulates in `buf`.
+        enum Step {
+            More(ArtifactId, u64),
+            BaseDone,
+            DeltaDone,
+            Corrupt(String),
+        }
+        let step = {
+            let Some(Catchup { stage: CatchupStage::Chain { plan, idx, offset, decoder, buf } }) =
+                self.catchup.as_mut()
+            else {
+                return; // stale chunk after a stage change
+            };
+            let Some(entry) = plan.get(*idx) else { return };
+            if entry.id != artifact || chunk_offset != *offset {
+                // A duplicate/stale stream (e.g. a resumed session racing
+                // the original): exactly one stream may advance the cursor.
+                return;
+            }
+            let done = *offset + data.len() as u64 >= total || data.is_empty();
+            match entry.kind {
+                ArtifactKind::Base => {
+                    let d = decoder.get_or_insert_with(|| Box::new(StreamingImageDecoder::new()));
+                    match d.push(&data) {
+                        Ok(()) => {
+                            *offset += data.len() as u64;
+                            if done {
+                                Step::BaseDone
+                            } else {
+                                Step::More(entry.id, *offset)
+                            }
+                        }
+                        Err(e) => Step::Corrupt(e.to_string()),
+                    }
+                }
+                ArtifactKind::Delta => {
+                    buf.extend_from_slice(&data);
+                    *offset += data.len() as u64;
+                    if done {
+                        Step::DeltaDone
+                    } else {
+                        Step::More(entry.id, *offset)
+                    }
+                }
+            }
+        };
+        match step {
+            Step::More(id, offset) => self.request_artifact_chunk(ctx, id, offset, for_upgrade),
+            Step::BaseDone => self.finish_base_artifact(ctx, for_upgrade),
+            Step::DeltaDone => self.finish_delta_artifact(ctx, for_upgrade),
+            Step::Corrupt(e) => {
+                ctx.trace("renew.image_corrupt", || e);
+                // A corrupt *base* has no cheaper fallback: restart the
+                // whole resolve (a fresh checkpoint will replace it).
+                self.catchup = Some(Catchup { stage: CatchupStage::Manifest });
+                self.request_manifest(ctx, for_upgrade);
             }
         }
     }
 
-    pub(crate) fn on_image_chunk(&mut self, ctx: &mut Ctx<'_>, resp: PoolResp, for_upgrade: bool) {
-        let (chunk_offset, data, total) = match resp {
-            PoolResp::ImageChunk { offset, data, total, .. } => (offset, data, total),
-            other => {
-                ctx.trace("renew.chunk_error", || format!("{other:?}"));
-                return;
-            }
-        };
-        // Feed the chunk straight into the streaming decoder: the tree is
-        // rebuilt as bytes arrive, so the junior never holds a whole-image
-        // buffer and the decode cost overlaps the transfer.
-        let step = {
-            let c = match self.catchup.as_mut() {
-                Some(c) => c,
-                None => return,
-            };
-            match &mut c.stage {
-                CatchupStage::Image { offset, decoder } => {
-                    if chunk_offset != *offset {
-                        // A duplicate/stale stream (e.g. a resumed session
-                        // racing the original): exactly one stream may
-                        // advance the cursor; drop the other.
-                        return;
-                    }
-                    match decoder.push(&data) {
-                        Ok(()) => {
-                            *offset += data.len() as u64;
-                            if *offset >= total || data.is_empty() {
-                                Ok(true)
-                            } else {
-                                Ok(false)
-                            }
-                        }
-                        Err(e) => Err(e),
-                    }
-                }
-                _ => return, // stale chunk after a stage change
-            }
-        };
-        let done = match step {
-            Ok(done) => done,
-            Err(e) => {
-                ctx.trace("renew.image_corrupt", || e.to_string());
-                // Retransmit from scratch.
-                self.catchup = Some(Catchup { stage: CatchupStage::Meta });
-                self.request_image_meta(ctx, for_upgrade);
-                return;
-            }
-        };
-        if !done {
-            let offset = match &self.catchup.as_ref().expect("checked").stage {
-                CatchupStage::Image { offset, .. } => *offset,
-                _ => unreachable!(),
-            };
-            self.request_image_chunk(ctx, offset, for_upgrade);
-            return;
-        }
-        // Every byte delivered: verify the checksum and adopt the tree.
-        let placeholder = CatchupStage::Journal { inflight: 0, next_after: 0, tail_hint: 0 };
+    /// The base image is fully transferred: verify, adopt, move down the
+    /// plan.
+    fn finish_base_artifact(&mut self, ctx: &mut Ctx<'_>, for_upgrade: bool) {
         let decoder = match self.catchup.as_mut() {
-            Some(c) => match std::mem::replace(&mut c.stage, placeholder) {
-                CatchupStage::Image { decoder, .. } => decoder,
-                other => {
-                    c.stage = other;
-                    return;
-                }
-            },
-            None => return,
+            Some(Catchup { stage: CatchupStage::Chain { decoder, .. } }) => decoder.take(),
+            _ => return,
         };
+        let Some(decoder) = decoder else { return };
         match decoder.finish() {
             Ok((tree, image_sn)) => {
                 ctx.trace("renew.image_loaded", || format!("checkpoint sn {image_sn}"));
@@ -347,14 +430,84 @@ impl MdsServer {
                 self.log = JournalLog::with_base(image_sn);
                 self.cursor = ReplayCursor::at(image_sn);
                 self.stash.clear();
-                self.enter_journal_stage(ctx, for_upgrade, 0);
+                self.advance_chain(ctx, for_upgrade);
             }
             Err(e) => {
                 ctx.trace("renew.image_corrupt", || e.to_string());
-                // Retransmit from scratch.
-                self.catchup = Some(Catchup { stage: CatchupStage::Meta });
-                self.request_image_meta(ctx, for_upgrade);
+                self.catchup = Some(Catchup { stage: CatchupStage::Manifest });
+                self.request_manifest(ctx, for_upgrade);
             }
+        }
+    }
+
+    /// A delta artifact is fully buffered: decode, verify, apply.
+    fn finish_delta_artifact(&mut self, ctx: &mut Ctx<'_>, for_upgrade: bool) {
+        let buf = match self.catchup.as_mut() {
+            Some(Catchup { stage: CatchupStage::Chain { buf, .. } }) => std::mem::take(buf),
+            _ => return,
+        };
+        let applied = self.cursor.max_sn();
+        let outcome = mams_namespace::decode_delta(&buf).map_err(|e| e.to_string()).and_then(|d| {
+            if applied < d.base_sn {
+                // A hole in front of this delta (should not happen on a
+                // well-formed chain): applying it would skip records.
+                return Err(format!("delta chains onto {} but we are at {applied}", d.base_sn));
+            }
+            mams_namespace::apply_delta(&mut self.ns, &d).map_err(|e| e.to_string())?;
+            Ok(d.end_sn)
+        });
+        match outcome {
+            Ok(end_sn) => {
+                ctx.trace("renew.delta_applied", || format!("to sn {end_sn}"));
+                // The delta advanced us past records we never saw as
+                // batches: rebase the local log exactly like an image load.
+                self.replay.reset();
+                self.log = JournalLog::with_base(end_sn);
+                self.cursor = ReplayCursor::at(end_sn);
+                self.stash.clear();
+                self.advance_chain(ctx, for_upgrade);
+            }
+            Err(e) => {
+                // Corrupt (or unexpectedly disjoint) delta: drop the rest
+                // of the chain and fall back one rung — windowed journal
+                // catch-up from our applied sn. The pool retains the
+                // journal from the base checkpoint, so the range is there;
+                // if a compaction truncates it meanwhile, the `compacted`
+                // reply re-resolves a fresh manifest.
+                ctx.trace("renew.delta_corrupt", || e);
+                self.enter_journal_stage(ctx, for_upgrade, 0);
+            }
+        }
+    }
+
+    /// Move to the next planned artifact, or into journal catch-up when the
+    /// chain is exhausted.
+    fn advance_chain(&mut self, ctx: &mut Ctx<'_>, for_upgrade: bool) {
+        // Report progress so the active's renewing session sees movement
+        // even while large artifacts stream.
+        let sn = self.cursor.max_sn();
+        if !for_upgrade {
+            if let Some(active) = self.active_hint {
+                if active != ctx.id() {
+                    ctx.send(active, GroupMsg::RenewProgress { sn });
+                }
+            }
+        }
+        let next = {
+            let Some(Catchup { stage: CatchupStage::Chain { plan, idx, offset, decoder, buf } }) =
+                self.catchup.as_mut()
+            else {
+                return;
+            };
+            *idx += 1;
+            *offset = 0;
+            buf.clear();
+            *decoder = None;
+            plan.get(*idx).map(|e| e.id)
+        };
+        match next {
+            Some(id) => self.request_artifact_chunk(ctx, id, 0, for_upgrade),
+            None => self.enter_journal_stage(ctx, for_upgrade, 0),
         }
     }
 

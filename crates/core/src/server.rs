@@ -28,6 +28,7 @@ pub(crate) const T_POOL_RETRY: u64 = 7;
 pub(crate) const T_VIEW_REFRESH: u64 = 8;
 pub(crate) const T_UPGRADE_RETRY: u64 = 9;
 pub(crate) const T_CHECKPOINT: u64 = 10;
+pub(crate) const T_DELTA: u64 = 11;
 
 /// A member's role, as in Figure 3 of the paper, plus the two transitional
 /// states the protocol moves through.
@@ -63,14 +64,16 @@ pub(crate) enum PoolCtx {
     AppendAck { sn: Sn },
     /// Upgrade step: reading the authoritative journal tail from the pool.
     UpgradeTail,
-    /// Upgrade/renewing: image metadata.
-    ImageMeta { for_upgrade: bool },
-    /// Image chunk during catch-up.
-    ImageChunk { for_upgrade: bool },
     /// Journal page during catch-up (renewing or upgrade).
     CatchupPage { for_upgrade: bool },
     /// Checkpoint write ack.
     CheckpointWrite,
+    /// Incremental-checkpoint (delta image) write ack.
+    DeltaWrite,
+    /// Renewing/upgrade: resolving the checkpoint manifest chain.
+    Manifest { for_upgrade: bool },
+    /// Renewing/upgrade: a chunk of a manifest artifact (base or delta).
+    ArtifactChunk { for_upgrade: bool },
     /// Fencing epoch advance ack during upgrade.
     EpochAdvance,
     /// Standby-side repair of a sync gap (lost `SyncJournal`) from the pool.
@@ -151,12 +154,21 @@ impl Inflight {
 /// Junior-side renewing progress.
 #[derive(Debug)]
 pub(crate) enum CatchupStage {
-    /// Asked the pool for image metadata.
-    Meta,
-    /// Downloading image chunks; each chunk is decoded on arrival by the
-    /// streaming decoder (no whole-image buffer), `offset` is the resume
-    /// checkpoint.
-    Image { offset: u64, decoder: Box<mams_namespace::StreamingImageDecoder> },
+    /// Asked the pool for the checkpoint manifest chain.
+    Manifest,
+    /// Streaming the manifest chain (base image, then deltas). `plan` is
+    /// the artifacts this junior needs — the base only when its own state
+    /// predates it, then every delta past its applied sn — `idx`/`offset`
+    /// the resume checkpoint within it. A base streams through the push
+    /// decoder (no whole-image buffer); a delta is churn-sized, so it is
+    /// buffered whole in `buf` and applied in one step.
+    Chain {
+        plan: Vec<mams_storage::ManifestEntry>,
+        idx: usize,
+        offset: u64,
+        decoder: Option<Box<mams_namespace::StreamingImageDecoder>>,
+        buf: Vec<u8>,
+    },
     /// Replaying journal pages from the pool, with up to `catchup_window`
     /// page requests in flight so network RTT overlaps apply. `inflight`
     /// counts outstanding requests, `next_after` is the next speculative
@@ -297,6 +309,13 @@ pub struct MdsServer {
     /// Whether a gap-repair timer is armed (lost-sync recovery).
     pub(crate) gap_repair_armed: bool,
 
+    /// Sn of the last checkpoint artifact (full image or delta) this active
+    /// wrote to the pool: the anchor the next delta folds from. `None`
+    /// until a base image lands (a delta must chain onto something) and
+    /// cleared on every role change — a new active must re-establish the
+    /// chain with a full image before producing deltas.
+    pub(crate) delta_anchor: Option<Sn>,
+
     // ---- measurement hooks ----
     /// When we observed the previous active disappear (drives the Figure 7
     /// stage breakdown).
@@ -372,6 +391,7 @@ impl MdsServer {
             next_pool_req: 1,
             pool_rr: 0,
             gap_repair_armed: false,
+            delta_anchor: None,
             failure_seen_at: None,
             divergences: 0,
             diverged_traced: false,
@@ -564,6 +584,9 @@ impl Node for MdsServer {
         if let Some(interval) = self.cfg.timing.checkpoint_interval {
             ctx.set_timer(interval, T_CHECKPOINT);
         }
+        if let Some(interval) = self.cfg.timing.delta_interval {
+            ctx.set_timer(interval, T_DELTA);
+        }
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
@@ -661,6 +684,14 @@ impl Node for MdsServer {
                         self.start_checkpoint(ctx);
                     }
                     ctx.set_timer(interval, T_CHECKPOINT);
+                }
+            }
+            T_DELTA => {
+                if let Some(interval) = self.cfg.timing.delta_interval {
+                    if self.role == Role::Active {
+                        self.start_delta(ctx);
+                    }
+                    ctx.set_timer(interval, T_DELTA);
                 }
             }
             T_UPGRADE_RETRY if self.role == Role::Upgrading => {

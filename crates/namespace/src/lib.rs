@@ -13,6 +13,7 @@
 //! same code — the replay-determinism invariant the property tests check.
 
 pub mod blocks;
+pub mod delta;
 pub mod image;
 pub mod inode;
 pub mod partition;
@@ -21,6 +22,10 @@ pub mod shard;
 pub mod tree;
 
 pub use blocks::{BlockInfo, BlockMap};
+pub use delta::{
+    apply_delta, decode_delta, encode_delta, fold_delta, peek_delta_range, DecodedDelta,
+    DeltaEntry, DeltaImage, DeltaNamespace, DeltaOp, DELTA_MAGIC, DELTA_VERSION,
+};
 pub use image::{
     decode_image, encode_image, encode_image_v1, estimated_image_bytes, ImageError, NamespaceImage,
     StreamingImageDecoder, VERSION_V1, VERSION_V2,

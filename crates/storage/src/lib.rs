@@ -27,6 +27,8 @@ pub mod pool;
 pub mod proto;
 
 pub use disk::DiskModel;
-pub use node::PoolNode;
-pub use pool::{GroupStore, PoolError, PoolState, SharedPool};
+pub use node::{CompactionPolicy, PoolNode};
+pub use pool::{
+    ArtifactId, ArtifactKind, GroupStore, Manifest, ManifestEntry, PoolError, PoolState, SharedPool,
+};
 pub use proto::{PoolReq, PoolResp, ReqId};

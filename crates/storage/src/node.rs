@@ -14,11 +14,37 @@ use crate::disk::DiskModel;
 use crate::pool::{PoolError, SharedPool};
 use crate::proto::{PoolReq, PoolResp};
 
+/// When and how aggressively a pool node folds delta chains back into a
+/// fresh base image.
+#[derive(Debug, Clone, Copy)]
+pub struct CompactionPolicy {
+    /// How often the background sweep looks for over-long chains.
+    pub sweep_every: Duration,
+    /// Compact once a chain carries more than this many deltas (or once the
+    /// deltas outweigh the base, whichever trips first — see
+    /// [`crate::GroupStore::compaction_due`]).
+    pub max_chain: usize,
+    /// Disable the sweep entirely (ablation benches and crash-point tests
+    /// that drive compaction by hand).
+    pub enabled: bool,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy { sweep_every: Duration::from_secs(5), max_chain: 8, enabled: true }
+    }
+}
+
+/// Timer token reserved for the compaction sweep; `next_token` counts up
+/// from zero so reply timers can never collide with it.
+const T_COMPACT_SWEEP: u64 = u64::MAX;
+
 /// A member of the shared storage pool.
 pub struct PoolNode {
     pool: SharedPool,
     journal_disk: DiskModel,
     image_disk: DiskModel,
+    compaction: CompactionPolicy,
     pending: HashMap<u64, (NodeId, PoolResp)>,
     next_token: u64,
 }
@@ -29,6 +55,7 @@ impl PoolNode {
             pool,
             journal_disk: DiskModel::journal_disk(),
             image_disk: DiskModel::image_disk(),
+            compaction: CompactionPolicy::default(),
             pending: HashMap::new(),
             next_token: 0,
         }
@@ -39,6 +66,26 @@ impl PoolNode {
         self.journal_disk = journal;
         self.image_disk = image;
         self
+    }
+
+    /// Override the background compaction policy.
+    pub fn with_compaction(mut self, policy: CompactionPolicy) -> Self {
+        self.compaction = policy;
+        self
+    }
+
+    /// Sweep every group and fold any over-long delta chain into a fresh
+    /// base. Failures (e.g. a corrupt delta injected by chaos) leave the
+    /// chain as-is — consumers fall back to journal catch-up, and the next
+    /// successful base checkpoint resets the chain.
+    fn compaction_sweep(&mut self) {
+        let mut pool = self.pool.lock();
+        for group in pool.group_ids() {
+            let g = pool.group_mut(group);
+            if g.compaction_due(self.compaction.max_chain) {
+                let _ = g.compact();
+            }
+        }
     }
 
     fn reply_after(&mut self, ctx: &mut Ctx<'_>, to: NodeId, resp: PoolResp, delay: Duration) {
@@ -86,6 +133,37 @@ impl PoolNode {
                 };
                 (resp, delay)
             }
+            PoolReq::WriteDelta { group, epoch, delta, req } => {
+                let bytes = delta.size_bytes();
+                let delay = self.image_disk.io_time(bytes);
+                let resp = match pool.group_mut(group).append_delta(epoch, delta) {
+                    Ok(end_sn) => PoolResp::DeltaWritten { group, end_sn, req },
+                    Err(error) => PoolResp::Failed { group, error, req },
+                };
+                (resp, delay)
+            }
+            PoolReq::ReadManifest { group, req } => {
+                let manifest = pool.group(group).map(|g| g.manifest().clone()).unwrap_or_default();
+                (PoolResp::ManifestInfo { group, manifest, req }, self.image_disk.op_overhead)
+            }
+            PoolReq::ReadArtifactChunk { group, artifact, offset, len, req } => {
+                let served = pool
+                    .group(group)
+                    .ok_or(PoolError::NoSuchArtifact { id: artifact })
+                    .and_then(|g| g.artifact_chunk(artifact, offset, len));
+                match served {
+                    Ok((data, total)) => {
+                        let delay = self.image_disk.io_time(data.len() as u64);
+                        (
+                            PoolResp::ArtifactChunk { group, artifact, offset, data, total, req },
+                            delay,
+                        )
+                    }
+                    Err(error) => {
+                        (PoolResp::Failed { group, error, req }, self.image_disk.op_overhead)
+                    }
+                }
+            }
             PoolReq::ReadImageMeta { group, req } => {
                 let meta = pool
                     .group(group)
@@ -122,6 +200,12 @@ impl PoolNode {
 }
 
 impl Node for PoolNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.compaction.enabled {
+            ctx.set_timer(self.compaction.sweep_every, T_COMPACT_SWEEP);
+        }
+    }
+
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Message) {
         match msg.downcast::<PoolReq>() {
             Ok(req) => {
@@ -135,6 +219,11 @@ impl Node for PoolNode {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == T_COMPACT_SWEEP {
+            self.compaction_sweep();
+            ctx.set_timer(self.compaction.sweep_every, T_COMPACT_SWEEP);
+            return;
+        }
         if let Some((to, resp)) = self.pending.remove(&token) {
             ctx.send(to, resp);
         }

@@ -1,10 +1,14 @@
-//! Pool contents: per-replica-group journal segments, images, and fencing.
+//! Pool contents: per-replica-group journal segments, checkpoint artifacts
+//! (base images and delta chains), and fencing.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use bytes::Bytes;
 use mams_journal::{AppendOutcome, JournalLog, SharedBatch, Sn};
-use mams_namespace::NamespaceImage;
+use mams_namespace::{
+    apply_delta, decode_delta, decode_image, encode_image, DeltaImage, NamespaceImage,
+};
 use parking_lot::Mutex;
 
 /// Replica-group index (matches `mams_namespace::partition::GroupId`).
@@ -13,6 +17,10 @@ pub type GroupId = u32;
 /// Fencing epoch: monotonically increasing per group; granted alongside the
 /// distributed lock at election time.
 pub type Epoch = u64;
+
+/// Pool-unique checkpoint artifact id (never reused; a manifest entry
+/// naming a GC'd id is how a consumer learns its manifest is stale).
+pub type ArtifactId = u64;
 
 /// Pool operation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,6 +32,13 @@ pub enum PoolError {
     Journal(String),
     /// Requested image/chunk does not exist.
     NoSuchImage,
+    /// The named artifact is gone (GC'd by compaction after the caller
+    /// cached its manifest): re-resolve the manifest and retry.
+    NoSuchArtifact { id: ArtifactId },
+    /// A delta was offered that does not chain onto the manifest's end.
+    DeltaChain { expected: Sn, offered: Sn },
+    /// A stored artifact failed to decode during compaction.
+    Corrupt(String),
 }
 
 impl std::fmt::Display for PoolError {
@@ -34,11 +49,80 @@ impl std::fmt::Display for PoolError {
             }
             PoolError::Journal(s) => write!(f, "journal: {s}"),
             PoolError::NoSuchImage => write!(f, "no such image"),
+            PoolError::NoSuchArtifact { id } => write!(f, "no such artifact {id}"),
+            PoolError::DeltaChain { expected, offered } => {
+                write!(f, "delta chains onto sn {offered}, manifest ends at {expected}")
+            }
+            PoolError::Corrupt(s) => write!(f, "corrupt artifact: {s}"),
         }
     }
 }
 
 impl std::error::Error for PoolError {}
+
+/// What a checkpoint artifact holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactKind {
+    /// A full namespace image (a snapshot *at* `end_sn`).
+    Base,
+    /// A delta image covering `(base_sn, end_sn]`.
+    Delta,
+}
+
+/// One link of the manifest chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    pub id: ArtifactId,
+    pub kind: ArtifactKind,
+    /// Sn the artifact chains onto (for a base, equal to `end_sn`).
+    pub base_sn: Sn,
+    /// Sn the artifact advances a consumer to.
+    pub end_sn: Sn,
+    /// Encoded size, so consumers can plan transfers.
+    pub bytes: u64,
+}
+
+/// The resolvable checkpoint chain `base@N ← delta@(N,M] ← delta@(M,K] …`.
+///
+/// Invariants (enforced by the writers): the first entry, if any, is a
+/// base; every subsequent entry is a delta whose `base_sn` equals the
+/// previous entry's `end_sn`. A consumer at applied sn `S` fetches the base
+/// only when `S` predates it, then every delta with `end_sn > S` — bytes
+/// proportional to churn, not namespace size.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    pub chain: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    pub fn is_empty(&self) -> bool {
+        self.chain.is_empty()
+    }
+
+    /// The base entry (always first when present).
+    pub fn base(&self) -> Option<&ManifestEntry> {
+        self.chain.first()
+    }
+
+    /// The delta links, in chain order.
+    pub fn deltas(&self) -> &[ManifestEntry] {
+        if self.chain.is_empty() {
+            &[]
+        } else {
+            &self.chain[1..]
+        }
+    }
+
+    /// Highest sn the chain reaches (0 when empty).
+    pub fn end_sn(&self) -> Sn {
+        self.chain.last().map(|e| e.end_sn).unwrap_or(0)
+    }
+
+    /// Total encoded delta bytes (the compaction-policy signal).
+    pub fn delta_bytes(&self) -> u64 {
+        self.deltas().iter().map(|e| e.bytes).sum()
+    }
+}
 
 /// One replica group's shared files.
 #[derive(Debug, Default)]
@@ -49,6 +133,14 @@ pub struct GroupStore {
     journal: JournalLog,
     /// Latest namespace image, if checkpointed.
     image: Option<NamespaceImage>,
+    /// Checkpoint artifacts by id (base images and deltas). Entries not
+    /// referenced by the manifest are garbage the next GC sweep collects.
+    artifacts: HashMap<ArtifactId, Bytes>,
+    /// The current resolvable chain.
+    manifest: Manifest,
+    next_artifact: ArtifactId,
+    /// A merged base built by `compact_begin` and not yet committed.
+    staged_base: Option<(ArtifactId, NamespaceImage)>,
 }
 
 impl GroupStore {
@@ -85,13 +177,80 @@ impl GroupStore {
         self.journal.tail_sn()
     }
 
-    /// Store a checkpoint image and compact the journal through its sn.
+    fn alloc_artifact(&mut self, data: Bytes) -> ArtifactId {
+        self.next_artifact += 1;
+        let id = self.next_artifact;
+        self.artifacts.insert(id, data);
+        id
+    }
+
+    /// Store a checkpoint image, start a fresh manifest chain on it, and
+    /// compact the journal through its sn. Superseded artifacts (the old
+    /// chain) are GC'd.
     pub fn write_image(&mut self, epoch: Epoch, image: NamespaceImage) -> Result<(), PoolError> {
         self.check_epoch(epoch)?;
         let sn = image.checkpoint_sn;
+        let id = self.alloc_artifact(image.data.clone());
+        self.manifest = Manifest {
+            chain: vec![ManifestEntry {
+                id,
+                kind: ArtifactKind::Base,
+                base_sn: sn,
+                end_sn: sn,
+                bytes: image.size_bytes(),
+            }],
+        };
         self.image = Some(image);
+        self.gc_unreferenced();
         self.journal.compact_through(sn);
         Ok(())
+    }
+
+    /// Append a delta to the manifest chain. The delta must chain exactly
+    /// onto the current end (`delta.base_sn == manifest.end_sn()`); anything
+    /// else — no base yet, a gap, a stale producer after failover — is
+    /// rejected so the chain can never silently fork. The journal is *not*
+    /// compacted: it stays retained from the base checkpoint, so journal
+    /// catch-up from any sn at or past the base keeps working even if every
+    /// delta turns out corrupt (the recovery ladder's last rung).
+    pub fn append_delta(&mut self, epoch: Epoch, delta: DeltaImage) -> Result<Sn, PoolError> {
+        self.check_epoch(epoch)?;
+        let expected = self.manifest.end_sn();
+        if self.manifest.is_empty() || delta.base_sn != expected {
+            return Err(PoolError::DeltaChain { expected, offered: delta.base_sn });
+        }
+        let end_sn = delta.end_sn;
+        let bytes = delta.size_bytes();
+        let id = self.alloc_artifact(delta.data);
+        self.manifest.chain.push(ManifestEntry {
+            id,
+            kind: ArtifactKind::Delta,
+            base_sn: delta.base_sn,
+            end_sn,
+            bytes,
+        });
+        Ok(end_sn)
+    }
+
+    /// The current manifest chain (empty when no checkpoint exists).
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// A chunk of an artifact's encoded bytes, with the artifact's total
+    /// size. `NoSuchArtifact` means the id was GC'd (or never existed): the
+    /// caller re-resolves the manifest.
+    pub fn artifact_chunk(
+        &self,
+        id: ArtifactId,
+        offset: u64,
+        len: u64,
+    ) -> Result<(Bytes, u64), PoolError> {
+        let data = self.artifacts.get(&id).ok_or(PoolError::NoSuchArtifact { id })?;
+        let size = data.len() as u64;
+        let start = offset.min(size) as usize;
+        let end = offset.saturating_add(len).min(size) as usize;
+        Ok((data.slice(start..end), size))
     }
 
     /// Latest image metadata.
@@ -99,10 +258,123 @@ impl GroupStore {
         self.image.as_ref()
     }
 
+    // ------------------------------------------------------- compaction
+    //
+    // Merging a delta chain into a new base runs in three crash-safe steps,
+    // exposed individually so tests can stop between any two:
+    //
+    //  1. `compact_begin` materializes the merged base as a *new, not yet
+    //     referenced* artifact. A crash here leaks one artifact (collected
+    //     by any later GC); the old chain stays fully resolvable.
+    //  2. `compact_commit` swaps the manifest to the new single-entry chain
+    //     in one assignment — the atomic point. Old artifacts are garbage
+    //     but still present, so a consumer holding the pre-swap manifest
+    //     keeps streaming until the next GC.
+    //  3. `compact_gc` drops unreferenced artifacts. Idempotent; a crash
+    //     between 2 and 3 just defers collection.
+
+    /// Whether the chain is long or heavy enough to merge: more than
+    /// `max_chain` deltas, or delta bytes exceeding the base's size. The
+    /// byte rule is floored so a tiny base (a near-empty namespace) does
+    /// not make every delta instantly trip a pointless merge.
+    pub fn compaction_due(&self, max_chain: usize) -> bool {
+        const BYTE_FLOOR: u64 = 64 * 1024;
+        let deltas = self.manifest.deltas();
+        if deltas.is_empty() {
+            return false;
+        }
+        let base_bytes = self.manifest.base().map(|b| b.bytes).unwrap_or(0);
+        deltas.len() > max_chain || self.manifest.delta_bytes() > base_bytes.max(BYTE_FLOOR)
+    }
+
+    /// Step 1: build the merged base (decode the current base, apply every
+    /// delta in chain order, re-encode at the chain's end sn) and store it
+    /// as a new unreferenced artifact. `Ok(None)` when there is nothing to
+    /// merge. A corrupt artifact anywhere in the chain aborts with no state
+    /// change — the chain is left for the next full checkpoint to supersede.
+    pub fn compact_begin(&mut self) -> Result<Option<ArtifactId>, PoolError> {
+        if self.manifest.deltas().is_empty() {
+            return Ok(None);
+        }
+        let base = self.manifest.base().expect("deltas imply a base").clone();
+        let base_bytes =
+            self.artifacts.get(&base.id).ok_or(PoolError::NoSuchArtifact { id: base.id })?;
+        let (mut tree, _) = decode_image(base_bytes.clone())
+            .map_err(|e| PoolError::Corrupt(format!("base {}: {e}", base.id)))?;
+        let mut end_sn = base.end_sn;
+        for entry in self.manifest.deltas() {
+            let data =
+                self.artifacts.get(&entry.id).ok_or(PoolError::NoSuchArtifact { id: entry.id })?;
+            let decoded = decode_delta(data)
+                .map_err(|e| PoolError::Corrupt(format!("delta {}: {e}", entry.id)))?;
+            apply_delta(&mut tree, &decoded)
+                .map_err(|e| PoolError::Corrupt(format!("delta {} apply: {e}", entry.id)))?;
+            end_sn = decoded.end_sn;
+        }
+        let merged = encode_image(&tree, end_sn);
+        let id = self.alloc_artifact(merged.data.clone());
+        self.staged_base = Some((id, merged));
+        Ok(Some(id))
+    }
+
+    /// Step 2: atomically point the manifest at the merged base.
+    pub fn compact_commit(&mut self, new_base: ArtifactId) -> Result<Sn, PoolError> {
+        let data =
+            self.artifacts.get(&new_base).ok_or(PoolError::NoSuchArtifact { id: new_base })?;
+        let bytes = data.len() as u64;
+        let end_sn = match self.staged_base.take() {
+            Some((id, image)) if id == new_base => {
+                let sn = image.checkpoint_sn;
+                self.image = Some(image);
+                sn
+            }
+            other => {
+                // Committing an id that was not staged (or re-committing
+                // after the staging was dropped): fall back to the chain
+                // end, which is what `compact_begin` encoded the merge at.
+                self.staged_base = other;
+                self.manifest.end_sn()
+            }
+        };
+        self.manifest = Manifest {
+            chain: vec![ManifestEntry {
+                id: new_base,
+                kind: ArtifactKind::Base,
+                base_sn: end_sn,
+                end_sn,
+                bytes,
+            }],
+        };
+        self.journal.compact_through(end_sn);
+        Ok(end_sn)
+    }
+
+    /// Step 3: drop artifacts the manifest no longer references.
+    pub fn compact_gc(&mut self) {
+        self.gc_unreferenced();
+    }
+
+    /// Run the full merge. Returns the new base sn, or `None` when there
+    /// was nothing to compact.
+    pub fn compact(&mut self) -> Result<Option<Sn>, PoolError> {
+        let Some(id) = self.compact_begin()? else { return Ok(None) };
+        let sn = self.compact_commit(id)?;
+        self.compact_gc();
+        Ok(Some(sn))
+    }
+
+    fn gc_unreferenced(&mut self) {
+        let live: std::collections::HashSet<ArtifactId> =
+            self.manifest.chain.iter().map(|e| e.id).collect();
+        self.artifacts.retain(|id, _| live.contains(id));
+    }
+
     /// Chaos hook: flip one byte in the middle of the stored checkpoint
     /// image, simulating silent on-disk corruption. Returns whether an
     /// image was present to corrupt. Readers must detect the damage (the
     /// image decoder validates) rather than build a divergent namespace.
+    /// The manifest's base artifact is the same bytes, so it is damaged
+    /// identically.
     pub fn corrupt_image(&mut self) -> bool {
         let Some(img) = self.image.as_mut() else { return false };
         if img.data.is_empty() {
@@ -111,7 +383,31 @@ impl GroupStore {
         let mut raw = img.data.to_vec();
         let mid = raw.len() / 2;
         raw[mid] ^= 0xFF;
-        img.data = bytes::Bytes::from(raw);
+        img.data = Bytes::from(raw);
+        if let Some(base) = self.manifest.base() {
+            self.artifacts.insert(base.id, img.data.clone());
+        }
+        true
+    }
+
+    /// Chaos hook: flip one byte in the middle of a mid-chain delta
+    /// artifact. Returns whether a delta was present to corrupt. A junior
+    /// streaming the chain must detect the damage and fall back down the
+    /// recovery ladder instead of applying a divergent delta.
+    pub fn corrupt_delta(&mut self) -> bool {
+        let deltas = self.manifest.deltas();
+        if deltas.is_empty() {
+            return false;
+        }
+        let id = deltas[deltas.len() / 2].id;
+        let Some(data) = self.artifacts.get(&id) else { return false };
+        if data.is_empty() {
+            return false;
+        }
+        let mut raw = data.to_vec();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0xFF;
+        self.artifacts.insert(id, Bytes::from(raw));
         true
     }
 
@@ -145,6 +441,11 @@ impl PoolState {
 
     pub fn group(&self, group: GroupId) -> Option<&GroupStore> {
         self.groups.get(&group)
+    }
+
+    /// Ids of every group touched so far (for background sweeps).
+    pub fn group_ids(&self) -> Vec<GroupId> {
+        self.groups.keys().copied().collect()
     }
 }
 
@@ -234,5 +535,199 @@ mod tests {
         assert!(p.group(1).is_none());
         p.group_mut(1);
         assert_eq!(p.group(1).unwrap().tail_sn(), 0);
+    }
+
+    // ------------------------------------------- manifest chain + compaction
+
+    use mams_namespace::fold_delta;
+
+    /// Build a group holding a base at `base_sn` plus `n_deltas` chained
+    /// deltas, each creating one file. Returns the final expected tree.
+    fn chained_group(base_sn: Sn, n_deltas: usize) -> (GroupStore, NamespaceTree) {
+        let mut g = GroupStore::default();
+        let mut t = NamespaceTree::new();
+        t.mkdir("/d").unwrap();
+        g.write_image(1, encode_image(&t, base_sn)).unwrap();
+        for (i, sn) in (base_sn..base_sn + n_deltas as u64).enumerate() {
+            let txn = Txn::Create { path: format!("/d/f{i}"), replication: 3 };
+            // Fold reads the *final* state of touched paths, so apply first.
+            t.apply(&txn).unwrap();
+            let delta = fold_delta(&t, sn, sn + 1, [&txn]);
+            g.append_delta(1, delta).unwrap();
+        }
+        (g, t)
+    }
+
+    /// Decode base + deltas from the manifest like a consumer would.
+    fn resolve_chain(g: &GroupStore) -> NamespaceTree {
+        let m = g.manifest().clone();
+        let base = m.base().expect("base");
+        let (data, _) = g.artifact_chunk(base.id, 0, u64::MAX).unwrap();
+        let (mut t, _) = mams_namespace::decode_image(data).unwrap();
+        for e in m.deltas() {
+            let (data, _) = g.artifact_chunk(e.id, 0, u64::MAX).unwrap();
+            let d = decode_delta(&data).unwrap();
+            apply_delta(&mut t, &d).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn deltas_chain_onto_manifest_end() {
+        let (mut g, t) = chained_group(5, 3);
+        let m = g.manifest();
+        assert_eq!(m.base().unwrap().end_sn, 5);
+        assert_eq!(m.deltas().len(), 3);
+        assert_eq!(m.end_sn(), 8);
+        assert_eq!(resolve_chain(&g).fingerprint(), t.fingerprint());
+        // A gap is refused: the chain never silently forks.
+        let mut t2 = t.clone();
+        let txn = Txn::Mkdir { path: "/gap".into() };
+        t2.apply(&txn).unwrap();
+        let bad = fold_delta(&t2, 10, 11, [&txn]);
+        assert_eq!(
+            g.append_delta(1, bad).unwrap_err(),
+            PoolError::DeltaChain { expected: 8, offered: 10 }
+        );
+    }
+
+    #[test]
+    fn delta_without_base_is_rejected() {
+        let mut g = GroupStore::default();
+        let t = NamespaceTree::new();
+        let txn = Txn::Mkdir { path: "/x".into() };
+        let delta = fold_delta(&t, 0, 1, [&txn]);
+        assert!(matches!(g.append_delta(1, delta), Err(PoolError::DeltaChain { .. })));
+    }
+
+    #[test]
+    fn stale_epoch_delta_is_fenced() {
+        let (mut g, t) = chained_group(1, 1);
+        g.advance_epoch(9);
+        let txn = Txn::Mkdir { path: "/late".into() };
+        let delta = fold_delta(&t, 2, 3, [&txn]);
+        assert!(matches!(g.append_delta(1, delta), Err(PoolError::Fenced { .. })));
+    }
+
+    #[test]
+    fn deltas_leave_journal_retained_from_base() {
+        let mut g = GroupStore::default();
+        let mut t = NamespaceTree::new();
+        for sn in 1..=4 {
+            g.append_journal(1, batch(sn)).unwrap();
+            t.mkdir(&format!("/d{sn}")).unwrap();
+        }
+        g.write_image(1, encode_image(&t, 4)).unwrap();
+        for sn in 5..=6 {
+            g.append_journal(1, batch(sn)).unwrap();
+            let txn = Txn::Mkdir { path: format!("/d{sn}") };
+            t.apply(&txn).unwrap();
+            let delta = fold_delta(&t, sn - 1, sn, [&txn]);
+            g.append_delta(1, delta).unwrap();
+        }
+        // Journal from the base checkpoint is still there (the ladder's
+        // last rung), even though the chain reaches sn 6.
+        assert_eq!(g.manifest().end_sn(), 6);
+        let tail = g.read_journal(4, 10).unwrap();
+        assert_eq!(tail.iter().map(|b| b.sn).collect::<Vec<_>>(), vec![5, 6]);
+    }
+
+    #[test]
+    fn compaction_merges_chain_and_gcs() {
+        let (mut g, t) = chained_group(1, 4);
+        let old_ids: Vec<ArtifactId> = g.manifest().chain.iter().map(|e| e.id).collect();
+        assert!(g.compaction_due(3));
+        let sn = g.compact().unwrap().unwrap();
+        assert_eq!(sn, 5);
+        let m = g.manifest();
+        assert_eq!(m.chain.len(), 1);
+        assert_eq!(m.base().unwrap().end_sn, 5);
+        assert_eq!(resolve_chain(&g).fingerprint(), t.fingerprint());
+        assert_eq!(g.image().unwrap().checkpoint_sn, 5);
+        // Old artifacts are gone; their ids resolve to NoSuchArtifact.
+        for id in old_ids {
+            assert!(matches!(g.artifact_chunk(id, 0, 8), Err(PoolError::NoSuchArtifact { .. })));
+        }
+    }
+
+    #[test]
+    fn compaction_with_no_deltas_is_a_noop() {
+        let (mut g, _) = chained_group(3, 0);
+        assert!(!g.compaction_due(0));
+        assert_eq!(g.compact().unwrap(), None);
+        assert_eq!(g.manifest().base().unwrap().end_sn, 3);
+    }
+
+    #[test]
+    fn crash_between_begin_and_commit_leaves_old_chain_resolvable() {
+        let (mut g, t) = chained_group(1, 3);
+        let staged = g.compact_begin().unwrap().unwrap();
+        // "Crash": nothing committed. The old chain still resolves.
+        assert_eq!(g.manifest().deltas().len(), 3);
+        assert_eq!(resolve_chain(&g).fingerprint(), t.fingerprint());
+        // Recovery commits the staged base; the merge survives.
+        let sn = g.compact_commit(staged).unwrap();
+        g.compact_gc();
+        assert_eq!(sn, 4);
+        assert_eq!(resolve_chain(&g).fingerprint(), t.fingerprint());
+    }
+
+    #[test]
+    fn commit_after_staging_lost_falls_back_to_chain_end() {
+        let (mut g, t) = chained_group(1, 2);
+        let staged = g.compact_begin().unwrap().unwrap();
+        // Simulate the staging map being lost across a restart (the
+        // artifact bytes themselves are durable).
+        g.staged_base = None;
+        let sn = g.compact_commit(staged).unwrap();
+        g.compact_gc();
+        assert_eq!(sn, 3);
+        assert_eq!(resolve_chain(&g).fingerprint(), t.fingerprint());
+    }
+
+    #[test]
+    fn corrupt_delta_aborts_compaction_without_state_change() {
+        let (mut g, t) = chained_group(1, 3);
+        assert!(g.corrupt_delta());
+        let err = g.compact().unwrap_err();
+        assert!(matches!(err, PoolError::Corrupt(_)), "got {err:?}");
+        // Chain untouched: base + intact deltas still resolvable, and the
+        // journal from the base still covers the whole range.
+        assert_eq!(g.manifest().deltas().len(), 3);
+        assert!(g.manifest().base().is_some());
+        drop(t);
+    }
+
+    #[test]
+    fn compaction_due_trips_on_bytes_too() {
+        // Build a base heavier than the 64 KiB floor, then pile delta bytes
+        // past it: the byte rule must trip even with a short chain.
+        let mut g = GroupStore::default();
+        let mut t = NamespaceTree::new();
+        t.mkdir("/bulk").unwrap();
+        for i in 0..3000 {
+            t.create(&format!("/bulk/file-with-a-longish-name-{i:05}"), 3).unwrap();
+        }
+        g.write_image(1, encode_image(&t, 1)).unwrap();
+        let base_bytes = g.manifest().base().unwrap().bytes;
+        assert!(base_bytes > 64 * 1024, "base must exceed the floor: {base_bytes}");
+        let mut sn = 1;
+        while g.manifest().delta_bytes() <= base_bytes {
+            // One delta re-upserting a whole directory's worth of entries.
+            let txns: Vec<Txn> = (0..3000)
+                .map(|i| Txn::SetPerm {
+                    path: format!("/bulk/file-with-a-longish-name-{i:05}"),
+                    perm: 0o640,
+                })
+                .collect();
+            for txn in &txns {
+                t.apply(txn).unwrap();
+            }
+            let delta = fold_delta(&t, sn, sn + 1, txns.iter());
+            g.append_delta(1, delta).unwrap();
+            sn += 1;
+        }
+        // Few deltas, but heavy relative to the base.
+        assert!(g.compaction_due(1_000_000));
     }
 }

@@ -2,9 +2,9 @@
 
 use bytes::Bytes;
 use mams_journal::{SharedBatch, Sn};
-use mams_namespace::NamespaceImage;
+use mams_namespace::{DeltaImage, NamespaceImage};
 
-use crate::pool::{Epoch, GroupId, PoolError};
+use crate::pool::{ArtifactId, Epoch, GroupId, Manifest, PoolError};
 
 /// Correlates a response with its request (caller-chosen).
 pub type ReqId = u64;
@@ -18,8 +18,15 @@ pub enum PoolReq {
     AppendJournal { group: GroupId, epoch: Epoch, batch: SharedBatch, req: ReqId },
     /// Read up to `max` batches with sn > `after_sn`.
     ReadJournal { group: GroupId, after_sn: Sn, max: usize, req: ReqId },
-    /// Checkpoint an image (compacts the shared journal through its sn).
+    /// Checkpoint an image (starts a fresh manifest chain and compacts the
+    /// shared journal through its sn).
     WriteImage { group: GroupId, epoch: Epoch, image: NamespaceImage, req: ReqId },
+    /// Append a delta to the manifest chain (must chain onto its end).
+    WriteDelta { group: GroupId, epoch: Epoch, delta: DeltaImage, req: ReqId },
+    /// The checkpoint manifest chain (base + deltas).
+    ReadManifest { group: GroupId, req: ReqId },
+    /// A chunk of one manifest artifact (resumable transfer; base or delta).
+    ReadArtifactChunk { group: GroupId, artifact: ArtifactId, offset: u64, len: u64, req: ReqId },
     /// Latest image metadata (checkpoint sn + size).
     ReadImageMeta { group: GroupId, req: ReqId },
     /// A chunk of the latest image (resumable transfer).
@@ -51,6 +58,25 @@ pub enum PoolResp {
     ImageWritten {
         group: GroupId,
         checkpoint_sn: Sn,
+        req: ReqId,
+    },
+    DeltaWritten {
+        group: GroupId,
+        end_sn: Sn,
+        req: ReqId,
+    },
+    /// The manifest chain (empty when nothing has been checkpointed).
+    ManifestInfo {
+        group: GroupId,
+        manifest: Manifest,
+        req: ReqId,
+    },
+    ArtifactChunk {
+        group: GroupId,
+        artifact: ArtifactId,
+        offset: u64,
+        data: Bytes,
+        total: u64,
         req: ReqId,
     },
     /// `meta` is `(checkpoint_sn, size_bytes)` or `None` when no image
@@ -91,6 +117,9 @@ impl PoolResp {
             PoolResp::AppendOk { req, .. }
             | PoolResp::Journal { req, .. }
             | PoolResp::ImageWritten { req, .. }
+            | PoolResp::DeltaWritten { req, .. }
+            | PoolResp::ManifestInfo { req, .. }
+            | PoolResp::ArtifactChunk { req, .. }
             | PoolResp::ImageMeta { req, .. }
             | PoolResp::ImageChunk { req, .. }
             | PoolResp::EpochAdvanced { req, .. }
