@@ -273,7 +273,7 @@ impl Node for AvatarNode {
             Ok(_) => return,
             Err(m) => m,
         };
-        if let Ok(MdsReq::Op { op, seq }) = msg.downcast::<MdsReq>() {
+        if let Ok(MdsReq::Op { op, seq, .. }) = msg.downcast::<MdsReq>() {
             if self.role != AvRole::Active {
                 ctx.send(from, MdsResp::NotActive { seq });
                 return;

@@ -289,7 +289,7 @@ impl Node for BnNode {
             }
             Err(m) => m,
         };
-        if let Ok(MdsReq::Op { op, seq }) = msg.downcast::<MdsReq>() {
+        if let Ok(MdsReq::Op { op, seq, .. }) = msg.downcast::<MdsReq>() {
             match self.role {
                 BnRole::Primary => {
                     self.ingress.push(from, op, seq, None);

@@ -414,7 +414,7 @@ impl Node for BoomFsServer {
         };
         if let Ok(req) = msg.downcast::<MdsReq>() {
             match req {
-                MdsReq::Op { op, seq } => {
+                MdsReq::Op { op, seq, .. } => {
                     if let Some(cached) = self.retry.check(from, seq) {
                         ctx.send(from, cached);
                         return;

@@ -295,7 +295,7 @@ impl Node for HaNameNode {
             Ok(_) => return,
             Err(m) => m,
         };
-        if let Ok(MdsReq::Op { op, seq }) = msg.downcast::<MdsReq>() {
+        if let Ok(MdsReq::Op { op, seq, .. }) = msg.downcast::<MdsReq>() {
             if self.role != HaRole::Active {
                 ctx.send(from, MdsResp::NotActive { seq });
                 return;

@@ -136,7 +136,7 @@ impl Node for HdfsNameNode {
         };
         if let Ok(req) = msg.downcast::<MdsReq>() {
             match req {
-                MdsReq::Op { op, seq } => {
+                MdsReq::Op { op, seq, .. } => {
                     self.ingress.push(from, op, seq, None);
                 }
                 // Baselines are never driven in speculative mode.

@@ -37,7 +37,10 @@
 //! Run from the repo root: `cargo run --release --bin bench_hotpath`
 //! (full sweep) or `-- --threads 2` (one thread count, no file write — the
 //! CI smoke) or `-- --latency` (short latency-percentile smoke, no file
-//! write).
+//! write) or `-- --latency --guard [pct]` (rerun the baseline's latency
+//! window — deterministic in the sim seed — and fail when loaded p99
+//! regressed more than `pct` percent, default 5, vs the checked-in
+//! `BENCH_hotpath.json`).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -385,6 +388,53 @@ fn run_latency(run_secs: u64, warmup_secs: u64) -> Vec<LatencyResult> {
         .collect()
 }
 
+/// Extract `"key": <digits>` from one baseline JSON line. The vendored
+/// serde_json stand-in cannot parse, so the guard matches the latency case
+/// lines of `BENCH_hotpath.json` by hand.
+fn json_u64_field(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\": ");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Hold the loaded-p99 results against the checked-in baseline. The latency
+/// run is simulated — deterministic in the seed — so any drift beyond `pct`
+/// percent is a real commit-path regression, not host noise.
+fn guard_latency(results: &[LatencyResult], pct: f64) {
+    let baseline = std::fs::read_to_string("BENCH_hotpath.json")
+        .expect("BENCH_hotpath.json baseline at the repo root (run the full bench to create it)");
+    let mut failed = false;
+    for r in results.iter().filter(|r| r.case.load == "loaded") {
+        let policy = if r.case.adaptive { "adaptive" } else { "fixed" };
+        let base_p99 = baseline
+            .lines()
+            .filter(|l| {
+                l.contains("\"load\": \"loaded\"")
+                    && l.contains(&format!("\"policy\": \"{policy}\""))
+            })
+            .find_map(|l| json_u64_field(l, "p99_us"))
+            .unwrap_or_else(|| panic!("no loaded/{policy} p99_us case in BENCH_hotpath.json"));
+        let limit = base_p99 as f64 * (1.0 + pct / 100.0);
+        let ok = r.p99_us as f64 <= limit;
+        if !ok {
+            failed = true;
+        }
+        println!(
+            "guard[loaded/{policy}]: p99 {}us vs baseline {}us (limit {:.0}us): {}",
+            r.p99_us,
+            base_p99,
+            limit,
+            if ok { "ok" } else { "REGRESSION" },
+        );
+    }
+    if failed {
+        eprintln!("latency guard: loaded p99 regressed more than {pct}% vs baseline: FAIL");
+        std::process::exit(1);
+    }
+    println!("latency guard: loaded p99 within {pct}% of baseline: PASS");
+}
+
 fn latency_json(results: &[LatencyResult]) -> String {
     let mut rows = String::new();
     for (i, r) in results.iter().enumerate() {
@@ -426,8 +476,16 @@ fn main() {
     let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
     if args.iter().any(|a| a == "--latency") {
-        // Latency smoke (CI): short simulated runs, report only.
-        run_latency(8, 2);
+        if let Some(i) = args.iter().position(|a| a == "--guard") {
+            // Guard mode (CI): rerun the baseline's exact (run, warmup)
+            // window and fail if loaded p99 regressed beyond the threshold.
+            let pct: f64 = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(5.0);
+            let results = run_latency(20, 4);
+            guard_latency(&results, pct);
+        } else {
+            // Latency smoke (CI): short simulated runs, report only.
+            run_latency(8, 2);
+        }
         return;
     }
 

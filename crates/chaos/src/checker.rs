@@ -16,28 +16,34 @@
 //! the classic P-compositionality cut that turns one intractable search
 //! into many trivial ones. Per-key state is just `Absent | File | Dir`.
 //!
-//! # Linearizability modulo retry duplication
+//! # Strict linearizability, everywhere
 //!
-//! MAMS suppresses duplicate requests with a per-client retry cache on the
-//! active — but the cache is *not* replicated, so a retry that lands on a
-//! freshly promoted active after a failover can re-execute an operation
-//! whose first execution committed (the classic at-most-once hole; see
-//! DESIGN.md). A checker of strict linearizability would flag every such
-//! run. Instead, each completed mutation that needed more than one attempt
-//! contributes up to [`MAX_ECHOES`] optional *echo* entries: phantom
-//! executions in the same real-time window that the search may apply or
-//! discard. The verdict is then "linearizable modulo retry duplication" —
-//! the strongest claim the protocol actually makes. Fault-free histories
-//! have single-attempt operations only, no echoes, and are held to strict
-//! linearizability (which is what gives the double-ack teeth test its
-//! deterministic bite).
+//! MAMS suppresses duplicate requests with a per-client retry window that
+//! is *replicated through the journal*: every batch carries the acks it
+//! released, replay rebuilds the `(client, seq) → outcome` window on every
+//! replica, and promotion seeds the successor's retry cache from it. A
+//! retry that lands on a freshly promoted active is therefore answered
+//! from the replicated window, never re-executed — there is no
+//! at-most-once hole across failover, and the checker holds every history
+//! (retried or not, across any number of failovers) to **strict**
+//! linearizability by default.
+//!
+//! The pre-replication model survives as an opt-in legacy mode
+//! ([`CheckerOpts::echoes`]): each completed mutation that needed more
+//! than one attempt contributes up to [`MAX_ECHOES`] optional *echo*
+//! entries — phantom executions in the same real-time window that the
+//! search may apply or discard, i.e. "linearizable modulo retry
+//! duplication". It exists only to check builds of the protocol without
+//! the replicated window (campaign `--legacy-echoes`); leaving it off is
+//! what gives the double-ack teeth test its bite even in faulty runs.
 
 use std::collections::{HashMap, HashSet};
 
 use mams_cluster::OpRecord;
 use mams_core::{FsOp, OpOutput};
 
-/// Echo entries per retried mutation (bounds the branching).
+/// Echo entries per retried mutation in legacy mode (bounds the
+/// branching).
 pub const MAX_ECHOES: u32 = 2;
 
 /// Search budget: explored configurations per component.
@@ -64,8 +70,9 @@ impl CheckOutcome {
 #[derive(Debug, Clone, Copy)]
 pub struct CheckerOpts {
     pub budget: u64,
-    /// Model the at-most-once hole (echo entries for retried mutations).
-    /// Disabling this checks *strict* linearizability.
+    /// Legacy model of the pre-replication at-most-once hole (echo entries
+    /// for retried mutations). Off by default: the retry window is
+    /// replicated, so retries are strict too.
     pub echoes: bool,
     /// Model the speculative-ack contract: a mutation acknowledged before
     /// durability (`OpRecord::spec`) may be lost on failover, so its
@@ -76,7 +83,7 @@ pub struct CheckerOpts {
 
 impl Default for CheckerOpts {
     fn default() -> Self {
-        CheckerOpts { budget: DEFAULT_BUDGET, echoes: true, spec_maybe_lost: false }
+        CheckerOpts { budget: DEFAULT_BUDGET, echoes: false, spec_maybe_lost: false }
     }
 }
 
@@ -344,8 +351,9 @@ fn build_components(records: &[OpRecord], opts: &CheckerOpts) -> Vec<Component> 
             });
             queues[qi].push(Entry { inv, ret, branches });
 
-            // Echo entries: the at-most-once hole means each extra attempt
-            // of a completed mutation may have executed once more.
+            // Legacy echo entries: without a replicated retry window, each
+            // extra attempt of a completed mutation may have executed once
+            // more.
             if opts.echoes && is_mutation && r.attempts > 1 {
                 for _ in 0..(r.attempts - 1).min(MAX_ECHOES) {
                     let mut eb = vec![NOOP];
@@ -469,8 +477,8 @@ fn witness(c: &Component) -> String {
     out
 }
 
-/// Check a recorded history for linearizability (modulo retry duplication;
-/// see the module docs).
+/// Check a recorded history for strict linearizability (see the module
+/// docs; the legacy echo model is opt-in via [`check_history_with`]).
 pub fn check_history(records: &[OpRecord]) -> CheckOutcome {
     check_history_with(records, &CheckerOpts::default())
 }
@@ -609,10 +617,12 @@ mod tests {
     }
 
     #[test]
-    fn retry_echo_is_accepted_only_under_the_echo_model() {
+    fn retry_duplication_is_a_violation_unless_legacy_echoes_opt_in() {
         // Client 0's create took 2 attempts across a failover; its second
-        // execution resurrects the file after client 1's delete. Strict
-        // linearizability rejects the history; the echo model explains it.
+        // execution resurrects the file after client 1's delete. With the
+        // replicated retry window that re-execution is a real bug, so the
+        // strict default convicts; only the legacy echo model (for builds
+        // without the window) explains it away.
         let recs = vec![
             rec(0, create("/hot/f0"), (0, Some(20)), Some(true), 2),
             rec(1, delete("/hot/f0"), (5, Some(6)), Some(true), 1),
@@ -622,9 +632,9 @@ mod tests {
                 read
             },
         ];
-        assert!(matches!(check_history(&recs), CheckOutcome::Ok { .. }));
-        let strict = CheckerOpts { echoes: false, ..CheckerOpts::default() };
-        assert!(check_history_with(&recs, &strict).is_violation());
+        assert!(check_history(&recs).is_violation());
+        let legacy = CheckerOpts { echoes: true, ..CheckerOpts::default() };
+        assert!(matches!(check_history_with(&recs, &legacy), CheckOutcome::Ok { .. }));
     }
 
     #[test]

@@ -29,6 +29,10 @@ pub struct RunConfig {
     pub seed: u64,
     /// Arm the deliberate double-ack defect (teeth test for the checker).
     pub inject_double_ack: bool,
+    /// Check under the legacy "modulo retry duplication" echo model
+    /// instead of strict linearizability (for builds without the
+    /// replicated retry window; campaign `--legacy-echoes`).
+    pub legacy_echoes: bool,
     /// Replace the scenario's generated fault program (shrinking).
     pub program: Option<Vec<FaultAction>>,
     /// Checker override (None = defaults).
@@ -79,6 +83,9 @@ fn resolve(sim: &Sim, topo: &Topology, r: NodeRef) -> Option<NodeId> {
                     .copied()
             })
         }
+        // A set, not a node: only the set-valued positions (resolve_all)
+        // expand it.
+        NodeRef::Clients => None,
     }
 }
 
@@ -100,7 +107,13 @@ pub fn active_of(sim: &Sim, group: u32) -> Option<NodeId> {
 }
 
 fn resolve_all(sim: &Sim, topo: &Topology, refs: &[NodeRef]) -> Vec<NodeId> {
-    let mut out: Vec<NodeId> = refs.iter().filter_map(|&r| resolve(sim, topo, r)).collect();
+    let mut out: Vec<NodeId> = Vec::new();
+    for &r in refs {
+        match r {
+            NodeRef::Clients => out.extend(topo.clients.iter().copied()),
+            _ => out.extend(resolve(sim, topo, r)),
+        }
+    }
     out.sort_unstable();
     out.dedup();
     out
@@ -270,10 +283,11 @@ pub fn run_scenario(sc: &Scenario, cfg: &RunConfig) -> RunReport {
         ..DeploySpec::default()
     };
     let mut deployment = deploy::build(&mut sim, spec);
-    let topo = Topology {
+    let mut topo = Topology {
         coord: deployment.coord,
         pool: deployment.pool.clone(),
         groups: deployment.groups.iter().map(|g| g.members.clone()).collect(),
+        clients: Vec::new(),
     };
     TOPO_POOL.with(|p| *p.borrow_mut() = Some(deployment.shared_pool.clone()));
 
@@ -284,7 +298,7 @@ pub fn run_scenario(sc: &Scenario, cfg: &RunConfig) -> RunReport {
         let client = deployment.next_client_id();
         let log = history.clone();
         let think = Duration::from_millis(sc.think_ms);
-        deployment.add_client_with(
+        let node = deployment.add_client_with(
             &mut sim,
             (sc.workload)(i, sc.keys),
             metrics.clone(),
@@ -295,6 +309,7 @@ pub fn run_scenario(sc: &Scenario, cfg: &RunConfig) -> RunReport {
                 c
             },
         );
+        topo.clients.push(node);
     }
 
     // Compile the program: every action becomes a scheduled callback.
@@ -363,9 +378,11 @@ pub fn run_scenario(sc: &Scenario, cfg: &RunConfig) -> RunReport {
     // Speculative runs relax the checker (spec acks may be lost to
     // failover) but add the token contract: ordering tokens may only
     // regress once a fault could have fired.
-    let checker = cfg
-        .checker
-        .unwrap_or(CheckerOpts { spec_maybe_lost: sc.speculative, ..CheckerOpts::default() });
+    let checker = cfg.checker.unwrap_or(CheckerOpts {
+        spec_maybe_lost: sc.speculative,
+        echoes: cfg.legacy_echoes,
+        ..CheckerOpts::default()
+    });
     if sc.speculative {
         let first_fault_us =
             program.iter().map(|a| t0.micros() + a.at_ms * 1_000).min().unwrap_or(u64::MAX);
@@ -439,6 +456,25 @@ mod tests {
         assert!(rep.ops_ok > 0);
         // The speculative path really engaged.
         assert!(rep.spec_acked > 0, "no spec-acked records in a speculative scenario");
+    }
+
+    #[test]
+    fn retry_across_failover_scenario_is_strictly_linearizable() {
+        // Reply cuts force same-seq retries onto a freshly promoted
+        // active; the window seeded from journal replay must answer them
+        // exactly-once. Checked strictly (echoes off by default).
+        let sc = scenario::by_name("retry_across_failover").unwrap();
+        let rep = run_scenario(&sc, &RunConfig { seed: 9, ..Default::default() });
+        assert!(!rep.failed(), "invariants: {:?} check: {:?}", rep.invariants, rep.check);
+        assert!(rep.ops_ok > 0);
+    }
+
+    #[test]
+    fn retry_after_delta_restart_scenario_is_strictly_linearizable() {
+        let sc = scenario::by_name("retry_after_delta_restart").unwrap();
+        let rep = run_scenario(&sc, &RunConfig { seed: 13, ..Default::default() });
+        assert!(!rep.failed(), "invariants: {:?} check: {:?}", rep.invariants, rep.check);
+        assert!(rep.ops_ok > 0);
     }
 
     #[test]

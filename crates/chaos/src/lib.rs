@@ -15,10 +15,11 @@
 //!   grace window, and sweeps the invariants (an active per group,
 //!   post-heal progress, zero replica divergence, linearizable history).
 //! * [`checker`] — the Wing–Gong-style linearizability checker over the
-//!   per-client histories, specialized to the metadata op model and to
-//!   the protocol's actual guarantee: linearizability *modulo retry
-//!   duplication* (the unreplicated retry cache leaves an at-most-once
-//!   hole across failovers; see DESIGN.md).
+//!   per-client histories, specialized to the metadata op model. The
+//!   retry window is replicated through the journal, so every history is
+//!   held to *strict* linearizability — retries across failover included;
+//!   the old "modulo retry duplication" echo model survives only as the
+//!   opt-in legacy mode for builds without the window (see DESIGN.md §11).
 //! * [`shrink`] — greedy delta-debugging of failing programs down to a
 //!   minimal witness.
 

@@ -31,6 +31,11 @@ pub enum NodeRef {
     /// The first group member that is currently *not* the active (a hot
     /// standby if any is up, else a junior).
     BackupOf { group: u32 },
+    /// Every workload client, as a set. Only meaningful in the set-valued
+    /// positions of [`FaultKind::Partition`] / [`FaultKind::OneWay`] (it
+    /// resolves to nothing as a single-node target) — used to cut the
+    /// reply path so clients must retry.
+    Clients,
 }
 
 /// One timed fault. Times are relative to scenario start.
@@ -462,7 +467,7 @@ pub fn corpus() -> Vec<Scenario> {
         run_secs: 60,
         about: "maximum rename contention on 3 keys while the active \
                 crashes twice — exercises retry reconciliation and the \
-                at-most-once hole across failovers",
+                replicated retry window across failovers",
         faults: |r| {
             let t1 = jitter(r, 12_000, 3_000);
             let t2 = jitter(r, 38_000, 4_000);
@@ -480,6 +485,110 @@ pub fn corpus() -> Vec<Scenario> {
             ]
         },
         ..base("rename_storm_crash", "")
+    });
+
+    v.push(Scenario {
+        keys: 4,
+        run_secs: 55,
+        about: "cut the active's reply path to every client so acked \
+                mutations look lost and clients retry with the same seq, \
+                then crash the active mid-retry: the successor must answer \
+                those retries from the journal-replicated retry window \
+                (exact at-most-once), and the history must stay strictly \
+                linearizable",
+        faults: |r| {
+            let t1 = jitter(r, 10_000, 3_000);
+            let t2 = jitter(r, 32_000, 3_000);
+            vec![
+                // Requests still arrive and commit; only the acks vanish.
+                FaultAction::at(
+                    t1,
+                    FaultKind::OneWay {
+                        from: vec![A0],
+                        to: vec![NodeRef::Clients],
+                        heal_ms: Some(9_000),
+                    },
+                ),
+                FaultAction::at(t1 + 4_000, FaultKind::Crash(A0)),
+                FaultAction::at(
+                    t1 + 16_000,
+                    FaultKind::Restart(NodeRef::Member { group: 0, idx: 0 }),
+                ),
+                // Second round against the successor.
+                FaultAction::at(
+                    t2,
+                    FaultKind::OneWay {
+                        from: vec![A0],
+                        to: vec![NodeRef::Clients],
+                        heal_ms: Some(9_000),
+                    },
+                ),
+                FaultAction::at(t2 + 4_000, FaultKind::Crash(A0)),
+                FaultAction::at(
+                    t2 + 16_000,
+                    FaultKind::Restart(NodeRef::Member { group: 0, idx: 1 }),
+                ),
+            ]
+        },
+        ..base("retry_across_failover", "")
+    });
+
+    v.push(Scenario {
+        standbys: 1,
+        juniors: 1,
+        keys: 4,
+        run_secs: 60,
+        tune: |mut t| {
+            // Fast checkpoint + delta cadence and a low image gap so the
+            // restarted member renews over the manifest chain (base image
+            // + deltas) — the retry window must ride those artifacts, not
+            // just live journal replay.
+            t.renew_image_gap = 64;
+            t.checkpoint_interval = Some(Duration::from_secs(10));
+            t.delta_interval = Some(Duration::from_secs(2));
+            t
+        },
+        about: "lose the active's replies so retries pile up, fail over, \
+                and let the crashed member restart through the base+delta \
+                recovery ladder; when the successor dies too, the promoted \
+                junior's retry window — rebuilt from image and delta 'W' \
+                sections plus the journal tail — must still answer stale \
+                retries exactly-once under strict checking",
+        faults: |r| {
+            let t1 = jitter(r, 12_000, 2_000);
+            vec![
+                FaultAction::at(
+                    t1,
+                    FaultKind::OneWay {
+                        from: vec![A0],
+                        to: vec![NodeRef::Clients],
+                        heal_ms: Some(9_000),
+                    },
+                ),
+                FaultAction::at(t1 + 4_000, FaultKind::Crash(A0)),
+                // The ex-active renews as a junior over base+deltas.
+                FaultAction::at(
+                    t1 + 14_000,
+                    FaultKind::Restart(NodeRef::Member { group: 0, idx: 0 }),
+                ),
+                // Second reply cut + crash: promotion now falls to a junior
+                // whose window came up the recovery ladder.
+                FaultAction::at(
+                    t1 + 26_000,
+                    FaultKind::OneWay {
+                        from: vec![A0],
+                        to: vec![NodeRef::Clients],
+                        heal_ms: Some(9_000),
+                    },
+                ),
+                FaultAction::at(t1 + 30_000, FaultKind::Crash(A0)),
+                FaultAction::at(
+                    t1 + 42_000,
+                    FaultKind::Restart(NodeRef::Member { group: 0, idx: 1 }),
+                ),
+            ]
+        },
+        ..base("retry_after_delta_restart", "")
     });
 
     v.push(Scenario {
@@ -539,9 +648,9 @@ pub fn corpus() -> Vec<Scenario> {
     v
 }
 
-/// The fault-free scenario used with the deliberate double-ack injection:
-/// with no retries there are no echo entries, so the checker's verdict is
-/// deterministic — any fake ack must surface as a violation.
+/// The fault-free scenario used with the deliberate double-ack injection.
+/// The strict checker convicts a fake ack in any run; fault-free keeps
+/// the witness small and the verdict instant.
 pub fn quiet() -> Scenario {
     Scenario {
         clients: 3,
@@ -569,6 +678,8 @@ pub struct Topology {
     pub pool: Vec<NodeId>,
     /// Per group: member node ids in boot order.
     pub groups: Vec<Vec<NodeId>>,
+    /// Workload client node ids ([`NodeRef::Clients`]).
+    pub clients: Vec<NodeId>,
 }
 
 #[cfg(test)]

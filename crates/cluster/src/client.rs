@@ -101,6 +101,11 @@ pub struct FsClient {
     completed: u64,
     /// Last ordering token seen (speculative mode); sent as `min_token`.
     last_token: u64,
+    /// Cumulative receipt watermark piggybacked on every request: the
+    /// client is closed-loop (one op outstanding), so the last completed
+    /// seq means every reply at or below it has been received. The server
+    /// evicts exactly those retry-cache entries.
+    acked: u64,
 }
 
 impl FsClient {
@@ -117,6 +122,7 @@ impl FsClient {
             setup,
             completed: 0,
             last_token: 0,
+            acked: 0,
         }
     }
 
@@ -124,9 +130,9 @@ impl FsClient {
     /// the last token when this client opted into speculative mode.
     fn wire_req(&self, op: FsOp, seq: u64) -> MdsReq {
         if self.cfg.speculative {
-            MdsReq::OpSpec { op, seq, min_token: self.last_token }
+            MdsReq::OpSpec { op, seq, min_token: self.last_token, acked: self.acked }
         } else {
-            MdsReq::Op { op, seq }
+            MdsReq::Op { op, seq, acked: self.acked }
         }
     }
 
@@ -224,6 +230,8 @@ impl FsClient {
         token: Option<u64>,
     ) {
         let o = self.outstanding.take().expect("outstanding op");
+        // Closed loop: completing seq N means every reply ≤ N was received.
+        self.acked = self.acked.max(o.seq);
         self.metrics.record(o.issued, ctx.now(), ok);
         if let (Some(idx), Some(h)) = (o.rec, self.cfg.history.as_ref()) {
             h.log.complete(idx, ctx.now().micros(), result, ok, o.attempts);

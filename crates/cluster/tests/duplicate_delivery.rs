@@ -27,7 +27,11 @@ struct Resender {
 
 impl Resender {
     fn op(&self) -> MdsReq {
-        MdsReq::Op { op: FsOp::Create { path: "/dup-target".into(), replication: 3 }, seq: 7 }
+        MdsReq::Op {
+            op: FsOp::Create { path: "/dup-target".into(), replication: 3 },
+            seq: 7,
+            acked: 0,
+        }
     }
 }
 

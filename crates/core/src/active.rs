@@ -44,12 +44,16 @@ impl MdsServer {
         }
         match req {
             MdsReq::Checkpoint => self.start_checkpoint(ctx),
-            MdsReq::Op { op, seq } => {
+            MdsReq::Op { op, seq, acked } => {
+                // The piggybacked receipt watermark retires exactly the
+                // responses this client can never retry.
+                self.retry_cache.note_acked(from, acked);
                 // Admission control: the op executes at the next drain,
                 // modeling server CPU capacity.
                 self.ingress.push(from, op, seq, None);
             }
-            MdsReq::OpSpec { op, seq, min_token } => {
+            MdsReq::OpSpec { op, seq, min_token, acked } => {
+                self.retry_cache.note_acked(from, acked);
                 self.ingress.push(from, op, seq, Some(min_token));
             }
             MdsReq::BlockReport { .. } => unreachable!("handled above"),
@@ -179,7 +183,8 @@ impl MdsServer {
                 self.retry_cache.store(from, seq, resp.clone());
                 ctx.send(from, resp);
                 let xid = self.maybe_xg_fanout(ctx, &txn, true);
-                self.pending.push(PendingOp { txn, reply: ReplyTo::SpecAcked, output, xid });
+                let reply = ReplyTo::SpecAcked { node: from, seq };
+                self.pending.push(PendingOp { txn, reply, output, xid });
                 if self.pending.len() >= self.cfg.timing.batch_max_ops {
                     self.flush_batch(ctx);
                 }
@@ -374,7 +379,7 @@ impl MdsServer {
                 ctx.send(coordinator, GroupMsg::XGroupAck { xid, group, ok: result.is_ok() });
             }
             // The speculative ack already went out on apply.
-            ReplyTo::SpecAcked => {}
+            ReplyTo::SpecAcked { .. } => {}
         }
     }
 
@@ -412,11 +417,53 @@ impl MdsServer {
         let ops = std::mem::take(&mut self.pending);
         let first_txid = self.next_txid;
         let records: Vec<Txn> = ops.iter().map(|o| o.txn.clone()).collect();
+        // Ack records replicate the `(client, seq)` each record settles, so
+        // every replica that replays the batch rebuilds the retry window.
+        // Distributed-transaction legs carry no ack — their client binding
+        // lives in the coordinating group's journal.
+        let acks: Vec<mams_journal::AckRecord> = ops
+            .iter()
+            .enumerate()
+            .filter_map(|(i, op)| match op.reply {
+                ReplyTo::Client { node, seq } => Some(mams_journal::AckRecord {
+                    record: i as u32,
+                    client: node,
+                    seq,
+                    spec: false,
+                }),
+                ReplyTo::SpecAcked { node, seq } => Some(mams_journal::AckRecord {
+                    record: i as u32,
+                    client: node,
+                    seq,
+                    spec: true,
+                }),
+                ReplyTo::XGroup { .. } => None,
+            })
+            .collect();
         let sn = self.log.tail_sn() + 1;
-        let batch = SharedBatch::sealed(JournalBatch::new(sn, first_txid, records));
+        let batch = SharedBatch::sealed(JournalBatch::with_acks(sn, first_txid, records, acks));
         self.next_txid = batch.last_txid() + 1;
         self.log.append(batch.share()).expect("own batch is contiguous");
         self.cursor = ReplayCursor::at(sn);
+        // Fold the same bindings into our own window (our batches never go
+        // through `apply_records` — the ops already executed in
+        // `exec_mutation`). Outcomes come straight from the executed ops,
+        // which is byte-identical to what replicas reconstruct at replay.
+        for (i, op) in ops.iter().enumerate() {
+            let (client, seq, spec) = match op.reply {
+                ReplyTo::Client { node, seq } => (node, seq, false),
+                ReplyTo::SpecAcked { node, seq } => (node, seq, true),
+                ReplyTo::XGroup { .. } => continue,
+            };
+            let outcome = match &op.output {
+                OpOutput::Done => mams_namespace::RetryOutcome::Done,
+                OpOutput::Block(b) => mams_namespace::RetryOutcome::Block(*b),
+                OpOutput::Info(info) => mams_namespace::RetryOutcome::Info(info.clone()),
+                OpOutput::Listing(_) => unreachable!("reads are never journaled"),
+            };
+            let token = spec.then_some(first_txid + i as u64);
+            self.window.record(client, seq, mams_namespace::RetryEntry { outcome, token });
+        }
 
         let mut inflight = Inflight {
             waiting_pool: true,
@@ -446,7 +493,7 @@ impl MdsServer {
                 // Speculative ops were acknowledged on apply; the batch
                 // still rides the durability pipeline (journal + sync), but
                 // owes the client nothing at completion.
-                ReplyTo::SpecAcked => {}
+                ReplyTo::SpecAcked { .. } => {}
             }
         }
         self.inflight.insert(sn, inflight);
@@ -743,7 +790,13 @@ impl MdsServer {
         // The image encoder works on the flat legacy layout; `to_tree`
         // snapshots the sharded namespace into one (ids preserved, so the
         // image round-trips through `from_tree` on the junior unchanged).
-        let image = mams_namespace::encode_image(&self.ns.to_tree(), self.cursor.max_sn());
+        // The retry window rides inside the image so a junior restored from
+        // it inherits the duplicate-suppression state as of this sn.
+        let image = mams_namespace::encode_image_with_window(
+            &self.ns.to_tree(),
+            self.cursor.max_sn(),
+            &self.window,
+        );
         let group = self.cfg.group;
         let epoch = self.epoch;
         ctx.trace("checkpoint.start", || {
@@ -793,7 +846,8 @@ impl MdsServer {
         };
         let txns =
             batches.iter().filter(|b| b.sn <= end).flat_map(|b| b.entries().map(|(_, txn)| txn));
-        let delta = mams_namespace::fold_delta(&self.ns, anchor, end, txns);
+        let delta =
+            mams_namespace::fold_delta_with_window(&self.ns, anchor, end, txns, &self.window);
         ctx.trace("delta.start", || {
             format!("({anchor}, {end}] {} entries {} B", delta.entries, delta.size_bytes())
         });

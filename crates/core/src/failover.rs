@@ -482,6 +482,15 @@ impl MdsServer {
         // The predecessor's manifest chain is not ours to extend: the first
         // delta tick after promotion writes a fresh full image instead.
         self.delta_anchor = None;
+        // Seed the response cache from the replicated retry window we
+        // rebuilt during replay: a retry of an op the dead active committed
+        // but never answered is served from cache, not re-executed —
+        // at-most-once holds *across* the switch. The window derives only
+        // from the durable journal, so a speculative ack whose batch died
+        // with the predecessor is absent and its retry executes fresh (the
+        // predecessor's own `abort_inflight` semantics, reconstructed).
+        self.retry_cache.clear();
+        self.retry_cache.seed_from_window(&self.window);
         self.coord.multi(
             ctx,
             vec![

@@ -67,8 +67,12 @@ pub enum OpOutput {
 pub enum MdsReq {
     /// `seq` is a per-client monotonically increasing number; the server
     /// remembers the last reply per client so a retried request is answered
-    /// from the cache instead of re-executed (duplicate handling).
-    Op { op: FsOp, seq: u64 },
+    /// from the cache instead of re-executed (duplicate handling). `acked`
+    /// is the client's cumulative receipt watermark — every reply with seq
+    /// ≤ `acked` has reached it — letting the server evict exactly the
+    /// cache entries the client can never retry, instead of guessing by
+    /// age.
+    Op { op: FsOp, seq: u64, acked: u64 },
     /// Speculative-ack mode (opt-in): mutations are acknowledged on apply
     /// — before durability — carrying an ordering token (the op's journal
     /// `txid`); reads wait until the server's applied watermark reaches
@@ -76,7 +80,7 @@ pub enum MdsReq {
     /// The durable-ack contract of `Op` does not hold: a speculative ack
     /// can be lost on failover, which the returned token exposes (it
     /// regresses below the client's `min_token`).
-    OpSpec { op: FsOp, seq: u64, min_token: u64 },
+    OpSpec { op: FsOp, seq: u64, min_token: u64, acked: u64 },
     /// Admin: checkpoint the namespace image to the SSP.
     Checkpoint,
     /// Data-server block report: the complete set of blocks this server

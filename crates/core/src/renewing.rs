@@ -422,10 +422,14 @@ impl MdsServer {
             _ => return,
         };
         let Some(decoder) = decoder else { return };
-        match decoder.finish() {
-            Ok((tree, image_sn)) => {
+        match decoder.finish_with_window() {
+            Ok((tree, image_sn, window)) => {
                 ctx.trace("renew.image_loaded", || format!("checkpoint sn {image_sn}"));
                 self.ns = mams_namespace::ShardedNamespace::from_tree(tree);
+                // The image's retry window is the writer's window at
+                // `image_sn`; adopting it keeps the window a function of
+                // the journal prefix even though we never saw the batches.
+                self.window = window;
                 self.replay.reset();
                 self.log = JournalLog::with_base(image_sn);
                 self.cursor = ReplayCursor::at(image_sn);
@@ -454,11 +458,18 @@ impl MdsServer {
                 return Err(format!("delta chains onto {} but we are at {applied}", d.base_sn));
             }
             mams_namespace::apply_delta(&mut self.ns, &d).map_err(|e| e.to_string())?;
-            Ok(d.end_sn)
+            Ok((d.end_sn, d.window))
         });
         match outcome {
-            Ok(end_sn) => {
+            Ok((end_sn, window)) => {
                 ctx.trace("renew.delta_applied", || format!("to sn {end_sn}"));
+                // Adopt the delta's retry window (it reflects `end_sn`); an
+                // empty section means no acks were ever journaled in the
+                // writer's window — keep what we have (same policy as pool
+                // compaction).
+                if !window.is_empty() {
+                    self.window = window;
+                }
                 // The delta advanced us past records we never saw as
                 // batches: rebase the local log exactly like an image load.
                 self.replay.reset();

@@ -9,7 +9,9 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use mams_coord::{CoordClient, Incoming};
 use mams_journal::{JournalBatch, JournalLog, ReplayCursor, SharedBatch, Sn, Txn, TxnId};
-use mams_namespace::{BlockMap, ShardedNamespace, ShardedReplaySession};
+use mams_namespace::{
+    replay_outcome, BlockMap, RetryEntry, RetryWindow, ShardedNamespace, ShardedReplaySession,
+};
 use mams_sim::{Ctx, Duration, Message, Node, NodeId, SimTime};
 use mams_storage::pool::Epoch;
 use mams_storage::proto::{PoolReq, PoolResp, ReqId};
@@ -93,8 +95,13 @@ pub(crate) enum ReplyTo {
         xid: (u32, u64),
     },
     /// Speculative mode: the client was already acknowledged on apply
-    /// (`MdsResp::ReplySpec`); nothing is owed at durability.
-    SpecAcked,
+    /// (`MdsResp::ReplySpec`); nothing is owed at durability. The client
+    /// identity still rides along so the flush can journal the ack record
+    /// that replicates the `(client, seq) → outcome` binding.
+    SpecAcked {
+        node: NodeId,
+        seq: u64,
+    },
 }
 
 /// A validated-and-not-yet-flushed mutation.
@@ -247,6 +254,13 @@ pub struct MdsServer {
     /// Reset whenever `ns` is replaced or mutated outside replay (image
     /// load, replica reset, a stint as active).
     pub(crate) replay: ShardedReplaySession,
+    /// Replicated retry-outcome window: the `(client, seq) → outcome`
+    /// bindings of every journaled batch this replica has applied (or
+    /// adopted from an image/delta). A pure function of the journal prefix
+    /// — standbys, catch-up juniors, and the active all agree byte-for-byte
+    /// — so a freshly promoted active can seed its response cache from it
+    /// and keep at-most-once across the switch.
+    pub(crate) window: RetryWindow,
 
     /// View cache maintained from watch events.
     pub(crate) view: HashMap<String, String>,
@@ -365,6 +379,7 @@ impl MdsServer {
             next_txid: 1,
             next_block_id: 1,
             replay: ShardedReplaySession::new(),
+            window: RetryWindow::new(),
             view: HashMap::new(),
             pending: Vec::new(),
             inflight: BTreeMap::new(),
@@ -453,8 +468,14 @@ impl MdsServer {
 
     /// Apply a batch's records to the namespace + block map and advance the
     /// txid high-water mark. Caller is responsible for cursor bookkeeping.
+    ///
+    /// Ack records riding on the batch (wire v2) are folded into the
+    /// replicated retry window *at each record's apply point*, so the
+    /// reconstructed outcome (e.g. the `FileInfo` a `Create` answered) is
+    /// exactly what the original active sent.
     fn apply_records(&mut self, batch: &JournalBatch) {
-        for (txid, txn) in batch.entries() {
+        let mut acks = batch.acks.iter().peekable();
+        for (i, (txid, txn)) in batch.entries().enumerate() {
             if let Txn::AddBlock { block_id, len, .. } = txn {
                 self.blocks.register(*block_id, *len);
                 self.next_block_id = self.next_block_id.max(*block_id + 1);
@@ -468,7 +489,22 @@ impl MdsServer {
                 self.divergences += 1;
             }
             self.next_txid = self.next_txid.max(txid + 1);
+            // Acks are sorted by record index (the flush emits them in op
+            // order), so a single forward scan pairs them up.
+            while let Some(ack) = acks.next_if(|a| a.record as usize == i) {
+                let outcome = replay_outcome(|p| self.ns.getfileinfo(p).ok(), txn);
+                // A speculative ack carried the record's txid as its
+                // ordering token; replay knows it exactly.
+                let token = ack.spec.then_some(txid);
+                self.window.record(ack.client, ack.seq, RetryEntry { outcome, token });
+            }
         }
+    }
+
+    /// The replicated retry window (test/harness hook: replay-parity
+    /// assertions compare fingerprints across replicas).
+    pub fn retry_window(&self) -> &RetryWindow {
+        &self.window
     }
 
     /// Fan a drained admission window across the namespace's shard workers:
@@ -533,6 +569,9 @@ impl MdsServer {
         self.next_block_id = 1;
         // Block locations are rebuilt by the periodic reports.
         self.blocks = BlockMap::new();
+        // The window is a function of the journal prefix; no prefix, no
+        // window. Rebuilt alongside the namespace during catch-up.
+        self.window.clear();
     }
 
     // ---------------------------------------------------------------- view

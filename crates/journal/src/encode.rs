@@ -19,7 +19,14 @@
 //!   path. `Rename` chains: `src` deltas against the previous path and
 //!   `dst` deltas against `src`. The checksum is folded in while encoding
 //!   via [`HashingBuf`] — sealing a batch is one 8-byte append, not a
-//!   second pass.
+//!   second pass. After the records the body may carry an **ack section**
+//!   (varint count + per-entry `⟨record idx, client, seq, flags⟩`
+//!   varints) binding records to the client requests they answer — the
+//!   replicated retry-outcome window rides here. The section is detected
+//!   by "body bytes remain after the `n` records", so v2 bytes written
+//!   before the extension decode unchanged with an empty ack list, and
+//!   old decoders never looked past record `n` anyway: read-compat both
+//!   ways.
 //!
 //! Both versions end with the same 8-byte big-endian FNV-1a-64 trailer over
 //! everything before it, so a torn or corrupted write is detected on
@@ -28,7 +35,7 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::hash::{fnv1a64, peek_varint, HashingBuf, Varint};
-use crate::txn::{JournalBatch, Txn};
+use crate::txn::{AckRecord, JournalBatch, Txn};
 
 /// Format magic: "MAMSJRNL" truncated to 4 bytes.
 pub const MAGIC: u32 = 0x4d4a_524e;
@@ -198,7 +205,9 @@ fn decode_batch_v1(mut buf: Bytes) -> Result<JournalBatch, EncodeError> {
     for _ in 0..n {
         records.push(get_txn_v1(&mut buf)?);
     }
-    Ok(JournalBatch { sn, first_txid, records })
+    // v1 predates the ack section; journals written by old actives carry
+    // no replicated retry outcomes.
+    Ok(JournalBatch { sn, first_txid, records, acks: Vec::new() })
 }
 
 // ---------------------------------------------------------------------------
@@ -357,6 +366,17 @@ pub fn encode_batch(batch: &JournalBatch) -> Bytes {
     for t in &batch.records {
         put_txn_v2(&mut buf, &mut prev, t);
     }
+    // Optional ack section. Elided when empty so ack-free batches stay
+    // byte-identical to the pre-extension format.
+    if !batch.acks.is_empty() {
+        buf.put_varint(batch.acks.len() as u64);
+        for a in &batch.acks {
+            buf.put_varint(a.record as u64);
+            buf.put_varint(a.client as u64);
+            buf.put_varint(a.seq);
+            buf.put_u8(a.spec as u8);
+        }
+    }
     buf.seal()
 }
 
@@ -370,7 +390,27 @@ fn decode_batch_v2(body: &[u8]) -> Result<JournalBatch, EncodeError> {
     for _ in 0..n {
         records.push(r.txn(&mut prev)?);
     }
-    Ok(JournalBatch { sn, first_txid, records })
+    // Body bytes past the records host the ack section (absent in batches
+    // written before the extension, or with nothing owed to clients).
+    let mut acks = Vec::new();
+    if !r.w.is_empty() {
+        let count = r.varint()? as usize;
+        acks.reserve(count.min(body.len()));
+        for _ in 0..count {
+            let record = r.varint()?;
+            let client = r.varint()?;
+            let seq = r.varint()?;
+            let spec = r.u8()? != 0;
+            if record >= n as u64 || record > u32::MAX as u64 || client > u32::MAX as u64 {
+                return Err(EncodeError::BadVarint);
+            }
+            acks.push(AckRecord { record: record as u32, client: client as u32, seq, spec });
+        }
+        if !r.w.is_empty() {
+            return Err(EncodeError::Truncated);
+        }
+    }
+    Ok(JournalBatch { sn, first_txid, records, acks })
 }
 
 /// Decode a batch of either version, verifying magic, version and checksum.
@@ -424,6 +464,51 @@ mod tests {
         let b = sample_batch();
         let dec = decode_batch(encode_batch(&b)).unwrap();
         assert_eq!(dec, b);
+    }
+
+    #[test]
+    fn ack_section_round_trips() {
+        let mut b = sample_batch();
+        b.acks = vec![
+            AckRecord { record: 0, client: 17, seq: 5, spec: false },
+            AckRecord { record: 3, client: 2, seq: u64::MAX - 7, spec: true },
+            AckRecord { record: 6, client: u32::MAX, seq: 0, spec: false },
+        ];
+        let enc = encode_batch(&b);
+        let dec = decode_batch(enc).unwrap();
+        assert_eq!(dec, b);
+    }
+
+    #[test]
+    fn ack_free_batches_stay_byte_identical_to_pre_extension_wire() {
+        // The section is elided when empty, so old v2 bytes (which are
+        // exactly this encoding) decode to an empty ack list: read-compat.
+        let b = sample_batch();
+        let enc = encode_batch(&b);
+        let dec = decode_batch(enc.clone()).unwrap();
+        assert!(dec.acks.is_empty());
+        let mut with_acks = b.clone();
+        with_acks.acks = vec![AckRecord { record: 1, client: 9, seq: 4, spec: false }];
+        assert!(encode_batch(&with_acks).len() > enc.len());
+    }
+
+    #[test]
+    fn ack_referencing_missing_record_rejected() {
+        let mut b = sample_batch();
+        let n = b.records.len() as u32;
+        b.acks = vec![AckRecord { record: n, client: 1, seq: 1, spec: false }];
+        // Bypass the constructor's debug assertion: encode the raw struct.
+        let enc = encode_batch(&b);
+        assert!(decode_batch(enc).is_err(), "out-of-range ack index must not decode");
+    }
+
+    #[test]
+    fn v1_drops_acks_but_still_decodes() {
+        let mut b = sample_batch();
+        b.acks = vec![AckRecord { record: 0, client: 3, seq: 9, spec: false }];
+        let dec = decode_batch(encode_batch_v1(&b)).unwrap();
+        assert_eq!(dec.records, b.records);
+        assert!(dec.acks.is_empty(), "legacy format cannot carry the window");
     }
 
     #[test]

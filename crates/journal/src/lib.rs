@@ -31,4 +31,4 @@ pub use encode::{decode_batch, encode_batch, encode_batch_v1, EncodeError};
 pub use hash::{fnv1a64, peek_varint, Fnv1a64, HashingBuf, Varint};
 pub use log::{AppendOutcome, JournalError, JournalLog};
 pub use shared::SharedBatch;
-pub use txn::{JournalBatch, Sn, Txn, TxnId};
+pub use txn::{AckRecord, JournalBatch, Sn, Txn, TxnId};

@@ -78,6 +78,27 @@ impl Txn {
     }
 }
 
+/// Marks a journaled record as owed to a client: record `record` of the
+/// batch answers request `(client, seq)`. Riding with the batch makes the
+/// retry-outcome window replicated state — every replica that replays the
+/// batch learns which requests it settles, so a freshly promoted active can
+/// answer retries from cache instead of re-executing. The reply payload is
+/// *not* stored: it is reconstructed deterministically at replay (the
+/// namespace state at the record's apply point is exactly the state the
+/// original reply observed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AckRecord {
+    /// Index into `records` of the mutation this ack settles.
+    pub record: u32,
+    /// Requesting client (node id).
+    pub client: u32,
+    /// The client's per-session request sequence number.
+    pub seq: u64,
+    /// Acked speculatively (`OpSpec`): the reply carried the record's own
+    /// txid as ordering token, so a cache-seeded retry answer must too.
+    pub spec: bool,
+}
+
 /// A batch of log records: the `⟨sn, transactionid⟩` unit of the paper.
 ///
 /// `first_txid` is the txid of `records[0]`; record `i` has txid
@@ -90,13 +111,25 @@ pub struct JournalBatch {
     pub sn: Sn,
     pub first_txid: TxnId,
     pub records: Vec<Txn>,
+    /// Which records answer which client requests (ascending by `record`).
+    /// Only the v2 wire format carries these; legacy v1 bytes decode with
+    /// an empty list.
+    pub acks: Vec<AckRecord>,
 }
 
 impl JournalBatch {
     pub fn new(sn: Sn, first_txid: TxnId, records: Vec<Txn>) -> Self {
+        Self::with_acks(sn, first_txid, records, Vec::new())
+    }
+
+    pub fn with_acks(sn: Sn, first_txid: TxnId, records: Vec<Txn>, acks: Vec<AckRecord>) -> Self {
         assert!(sn >= 1, "sn 0 is the 'nothing applied' sentinel");
         assert!(!records.is_empty(), "empty journal batch");
-        JournalBatch { sn, first_txid, records }
+        debug_assert!(
+            acks.iter().all(|a| (a.record as usize) < records.len()),
+            "ack references a record outside the batch"
+        );
+        JournalBatch { sn, first_txid, records, acks }
     }
 
     /// Txid of the last record in the batch.
@@ -114,7 +147,7 @@ impl JournalBatch {
     /// used by disk/network latency models without paying for a real
     /// encode.
     pub fn weight(&self) -> u64 {
-        34 + self.records.iter().map(Txn::weight).sum::<u64>()
+        34 + self.records.iter().map(Txn::weight).sum::<u64>() + 8 * self.acks.len() as u64
     }
 }
 

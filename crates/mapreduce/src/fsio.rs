@@ -79,8 +79,12 @@ impl FsIo {
         };
         p.attempts += 1;
         let op = p.op.clone();
-        match self.actives.get(&p.group) {
-            Some(&a) => ctx.send(a, MdsReq::Op { op, seq }),
+        let group = p.group;
+        // Receipt watermark: seqs are issued in order, so everything below
+        // the lowest still-pending seq has completed (cumulatively).
+        let acked = self.pending.keys().copied().min().map_or(self.next_seq, |m| m - 1);
+        match self.actives.get(&group) {
+            Some(&a) => ctx.send(a, MdsReq::Op { op, seq, acked }),
             None => self.refresh(ctx),
         }
         ctx.set_timer(self.timeout, DEFAULT_TOKEN_BASE + seq);

@@ -35,6 +35,7 @@ use mams_journal::{Sn, Txn};
 
 use crate::image::ImageError;
 use crate::inode::FileInfo;
+use crate::retry::RetryWindow;
 use crate::shard::ShardedNamespace;
 use crate::tree::{NamespaceTree, NsError};
 
@@ -110,6 +111,11 @@ pub struct DecodedDelta {
     pub end_sn: Sn,
     /// Entries in ascending path order (parents precede descendants).
     pub entries: Vec<DeltaEntry>,
+    /// Retry-outcome window as of `end_sn` (empty for deltas written before
+    /// the window extension). A junior restored from base + deltas adopts
+    /// the window of the *last* delta it applies, so at-most-once survives
+    /// the delta recovery ladder too.
+    pub window: RetryWindow,
 }
 
 /// The namespace surface the fold and apply paths need, implemented by both
@@ -202,6 +208,19 @@ pub fn fold_delta<'a, N: DeltaNamespace>(
     end_sn: Sn,
     txns: impl IntoIterator<Item = &'a Txn>,
 ) -> DeltaImage {
+    fold_delta_with_window(src, base_sn, end_sn, txns, &RetryWindow::new())
+}
+
+/// [`fold_delta`] variant that embeds the producer's retry-outcome window as
+/// of `end_sn`, so consumers on the delta ladder inherit at-most-once state
+/// along with the namespace. An empty window is elided on the wire.
+pub fn fold_delta_with_window<'a, N: DeltaNamespace>(
+    src: &N,
+    base_sn: Sn,
+    end_sn: Sn,
+    txns: impl IntoIterator<Item = &'a Txn>,
+    window: &RetryWindow,
+) -> DeltaImage {
     let mut touched: BTreeSet<String> = BTreeSet::new();
     let mut severed: BTreeSet<String> = BTreeSet::new();
     for txn in txns {
@@ -265,7 +284,7 @@ pub fn fold_delta<'a, N: DeltaNamespace>(
             }
         }
     }
-    encode_delta(base_sn, end_sn, &entries)
+    encode_delta_with_window(base_sn, end_sn, &entries, window)
 }
 
 fn collect_subtree<N: DeltaNamespace>(src: &N, root: &str, out: &mut Vec<String>) {
@@ -286,6 +305,19 @@ fn collect_subtree<N: DeltaNamespace>(src: &N, root: &str, out: &mut Vec<String>
 /// Encode sorted entries into the `MDLT` wire format. Callers normally go
 /// through [`fold_delta`]; this is exposed for tests and the compactor.
 pub fn encode_delta(base_sn: Sn, end_sn: Sn, entries: &[DeltaEntry]) -> DeltaImage {
+    encode_delta_with_window(base_sn, end_sn, entries, &RetryWindow::new())
+}
+
+/// [`encode_delta`] variant carrying a retry-outcome window. The window
+/// rides after the entries as `'W'` + varint length + blob, mirroring the
+/// base image's section; an empty window writes nothing, keeping window-free
+/// deltas byte-identical to the pre-extension format.
+pub fn encode_delta_with_window(
+    base_sn: Sn,
+    end_sn: Sn,
+    entries: &[DeltaEntry],
+    window: &RetryWindow,
+) -> DeltaImage {
     debug_assert!(entries.windows(2).all(|w| w[0].path < w[1].path), "entries must be sorted");
     let mut out = HashingBuf::with_capacity(256);
     out.put_u32(DELTA_MAGIC);
@@ -321,6 +353,12 @@ pub fn encode_delta(base_sn: Sn, end_sn: Sn, entries: &[DeltaEntry]) -> DeltaIma
             DeltaOp::Tombstone => {}
         }
         prev = &e.path;
+    }
+    if !window.is_empty() {
+        let wb = window.encode_bytes();
+        out.put_u8(b'W');
+        out.put_varint(wb.len() as u64);
+        out.put_slice(&wb);
     }
     DeltaImage { base_sn, end_sn, entries: entries.len() as u64, data: out.seal() }
 }
@@ -429,10 +467,23 @@ pub fn decode_delta(data: &[u8]) -> Result<DecodedDelta, ImageError> {
         prev.clone_from(&path);
         entries.push(DeltaEntry { path, op });
     }
+    let mut window = RetryWindow::new();
+    if r.at != body.len() {
+        // Optional retry-window section: 'W' + varint length + blob.
+        let tag = r.u8()?;
+        if tag != b'W' {
+            return Err(ImageError::Corrupt(format!("bad section tag {tag:#x}")));
+        }
+        let wlen = r.varint()? as usize;
+        window = RetryWindow::decode_bytes(r.take(wlen)?)?;
+        if window.is_empty() {
+            return Err(ImageError::Corrupt("empty retry-window section".to_string()));
+        }
+    }
     if r.at != body.len() {
         return Err(ImageError::Corrupt("trailing garbage after entries".to_string()));
     }
-    Ok(DecodedDelta { base_sn, end_sn, entries })
+    Ok(DecodedDelta { base_sn, end_sn, entries, window })
 }
 
 /// Peek a delta artifact's `(base_sn, end_sn)` without a full decode (the
@@ -685,6 +736,52 @@ mod tests {
         }
         for cut in 0..delta.data.len() {
             assert!(decode_delta(&delta.data[..cut]).is_err(), "cut at {cut} must not decode");
+        }
+    }
+
+    #[test]
+    fn window_section_round_trips_and_empty_is_elided() {
+        use crate::retry::{RetryEntry, RetryOutcome};
+        let base = base_tree();
+        let txns = vec![Txn::Create { path: "/w".to_string(), replication: 1 }];
+        let mut end = base.clone();
+        for txn in &txns {
+            end.apply(txn).unwrap();
+        }
+        let mut win = RetryWindow::new();
+        win.record(3, 41, RetryEntry { outcome: RetryOutcome::Done, token: None });
+        win.record(9, 2, RetryEntry { outcome: RetryOutcome::Block(777), token: Some(12) });
+        let with = fold_delta_with_window(&end, 1, 2, txns.iter(), &win);
+        let d = decode_delta(&with.data).unwrap();
+        assert_eq!(d.window, win);
+        // Applying still lands on the end state; the window rides alongside.
+        let mut applied = base.clone();
+        apply_delta(&mut applied, &d).unwrap();
+        assert_eq!(applied.fingerprint(), end.fingerprint());
+        // An empty window writes the pre-extension bytes exactly.
+        let plain = fold_delta(&end, 1, 2, txns.iter());
+        let explicit = fold_delta_with_window(&end, 1, 2, txns.iter(), &RetryWindow::new());
+        assert_eq!(plain.data, explicit.data);
+        assert!(decode_delta(&plain.data).unwrap().window.is_empty());
+    }
+
+    #[test]
+    fn windowed_delta_corruption_detected_at_every_byte() {
+        use crate::retry::{RetryEntry, RetryOutcome};
+        let base = base_tree();
+        let txns = vec![Txn::Delete { path: "/tmp".to_string(), recursive: true }];
+        let mut end = base.clone();
+        for txn in &txns {
+            end.apply(txn).unwrap();
+        }
+        let mut win = RetryWindow::new();
+        win.record(1, 1, RetryEntry { outcome: RetryOutcome::Done, token: None });
+        let delta = fold_delta_with_window(&end, 1, 2, txns.iter(), &win);
+        assert!(decode_delta(&delta.data).is_ok());
+        for i in 0..delta.data.len() {
+            let mut bad = delta.data.to_vec();
+            bad[i] ^= 0x55;
+            assert!(decode_delta(&bad).is_err(), "flip at byte {i} must not decode");
         }
     }
 

@@ -31,6 +31,7 @@ use mams_journal::Sn;
 
 use crate::inode::{Inode, InodeId, ROOT_ID};
 use crate::path as nspath;
+use crate::retry::RetryWindow;
 use crate::tree::NamespaceTree;
 
 /// Image format magic ("MIMG").
@@ -124,6 +125,19 @@ fn put_header(out: &mut HashingBuf, version: u16, checkpoint_sn: Sn, root_perm: 
 /// Encode the tree into a current-format (v2) image checkpointed at
 /// `checkpoint_sn`.
 pub fn encode_image(tree: &NamespaceTree, checkpoint_sn: Sn) -> NamespaceImage {
+    encode_image_with_window(tree, checkpoint_sn, &RetryWindow::new())
+}
+
+/// Encode a v2 image carrying the retry-outcome window as of
+/// `checkpoint_sn`. The window rides as one `W`-tagged, length-prefixed
+/// section after the tree entries (elided when empty, so window-free
+/// images stay byte-identical to the pre-extension format and old images
+/// decode with an empty window).
+pub fn encode_image_with_window(
+    tree: &NamespaceTree,
+    checkpoint_sn: Sn,
+    window: &RetryWindow,
+) -> NamespaceImage {
     let mut out = HashingBuf::with_capacity(4096);
     put_header(&mut out, VERSION_V2, checkpoint_sn, tree.inodes[&ROOT_ID].perm());
 
@@ -166,6 +180,12 @@ pub fn encode_image(tree: &NamespaceTree, checkpoint_sn: Sn) -> NamespaceImage {
                 }
             }
         }
+    }
+    if !window.is_empty() {
+        let wb = window.encode_bytes();
+        out.put_u8(b'W');
+        out.put_varint(wb.len() as u64);
+        out.put_slice(&wb);
     }
     NamespaceImage {
         checkpoint_sn,
@@ -257,6 +277,9 @@ pub struct StreamingImageDecoder {
     pending: Vec<u8>,
     /// Most recently attached inode (checkpoint telemetry).
     last_id: InodeId,
+    /// Retry-outcome window section (`W`), when the image carries one.
+    window: RetryWindow,
+    window_seen: bool,
     err: Option<ImageError>,
 }
 
@@ -278,6 +301,8 @@ impl StreamingImageDecoder {
             offset: 0,
             pending: Vec::new(),
             last_id: ROOT_ID,
+            window: RetryWindow::new(),
+            window_seen: false,
             err: None,
         }
     }
@@ -341,6 +366,12 @@ impl StreamingImageDecoder {
 
     /// Verify the checksum and return the decoded tree and checkpoint sn.
     pub fn finish(self) -> Result<(NamespaceTree, Sn), ImageError> {
+        self.finish_with_window().map(|(tree, sn, _)| (tree, sn))
+    }
+
+    /// Verify the checksum and return the decoded tree, checkpoint sn, and
+    /// the retry-outcome window (empty when the image carries none).
+    pub fn finish_with_window(self) -> Result<(NamespaceTree, Sn, RetryWindow), ImageError> {
         if let Some(e) = self.err {
             return Err(e);
         }
@@ -355,7 +386,7 @@ impl StreamingImageDecoder {
         if stored != self.hash.digest() {
             return Err(ImageError::BadChecksum);
         }
-        Ok((self.tree, self.sn))
+        Ok((self.tree, self.sn, self.window))
     }
 
     /// Decode as much of `s` as possible; returns the consumed prefix
@@ -406,6 +437,29 @@ impl StreamingImageDecoder {
     /// the entry is not complete yet.
     fn entry_v2(&mut self, w: &[u8]) -> Result<Option<usize>, ImageError> {
         let Some(&kind) = w.first() else { return Ok(None) };
+        if self.window_seen {
+            return Err(ImageError::Corrupt("entry after retry-window section".into()));
+        }
+        if kind == b'W' {
+            // Retry-outcome window: one length-prefixed blob, decoded whole
+            // once fully visible (incomplete prefixes stay pending like any
+            // other straddling entry).
+            let mut pos = 1;
+            let wlen = match peek_varint(&w[pos..]) {
+                Varint::Need => return Ok(None),
+                Varint::Bad => return Err(ImageError::Corrupt("malformed window length".into())),
+                Varint::Val(v, n) => {
+                    pos += n;
+                    v as usize
+                }
+            };
+            if w.len() < pos + wlen {
+                return Ok(None);
+            }
+            self.window = RetryWindow::decode_bytes(&w[pos..pos + wlen])?;
+            self.window_seen = true;
+            return Ok(Some(pos + wlen));
+        }
         let mut pos = 1;
         let parent = match peek_varint(&w[pos..]) {
             Varint::Need => return Ok(None),
@@ -557,6 +611,17 @@ pub fn decode_image(data: Bytes) -> Result<(NamespaceTree, Sn), ImageError> {
     d.finish()
 }
 
+/// [`decode_image`] variant that also returns the retry-outcome window
+/// (empty for images written without one).
+pub fn decode_image_with_window(
+    data: Bytes,
+) -> Result<(NamespaceTree, Sn, RetryWindow), ImageError> {
+    let mut d = StreamingImageDecoder::new();
+    d.reserve_hint(data.len() as u64);
+    d.push(&data)?;
+    d.finish_with_window()
+}
+
 /// Estimated encoded v2 image size (bytes) for a namespace with the given
 /// shape, used to size experiments without materializing millions of
 /// inodes. Derived from the v2 encoding: ~`name + 6` bytes per entry (kind,
@@ -605,6 +670,56 @@ mod tests {
         assert_eq!(t2.num_dirs(), 3);
         assert_eq!(t2.getfileinfo("/tmp").unwrap().perm, 0o777);
         assert_eq!(t2.getfileinfo("/data/logs/f3").unwrap().blocks, vec![1003]);
+    }
+
+    #[test]
+    fn window_section_round_trips_at_every_chunk_boundary() {
+        use crate::retry::{RetryEntry, RetryOutcome, RetryWindow};
+        let t = sample_tree();
+        let mut win = RetryWindow::new();
+        win.record(4, 9, RetryEntry { outcome: RetryOutcome::Done, token: None });
+        win.record(4, 10, RetryEntry { outcome: RetryOutcome::Block(1007), token: Some(55) });
+        let img = encode_image_with_window(&t, 42, &win);
+        // Buffered decode.
+        let (t2, sn, w2) = decode_image_with_window(img.data.clone()).unwrap();
+        assert_eq!(sn, 42);
+        assert_eq!(t2.fingerprint(), t.fingerprint());
+        assert_eq!(w2, win);
+        // Plain decode ignores the window but still verifies.
+        let (t3, _) = decode_image(img.data.clone()).unwrap();
+        assert_eq!(t3.fingerprint(), t.fingerprint());
+        // Streaming decode at every split point.
+        for cut in 0..=img.data.len() {
+            let mut d = StreamingImageDecoder::new();
+            d.push(&img.data[..cut]).unwrap();
+            d.push(&img.data[cut..]).unwrap();
+            let (_, _, w) = d.finish_with_window().unwrap();
+            assert_eq!(w, win, "split at {cut}");
+        }
+    }
+
+    #[test]
+    fn windowless_images_stay_byte_identical_and_decode_empty() {
+        use crate::retry::RetryWindow;
+        let t = sample_tree();
+        let plain = encode_image(&t, 7);
+        let explicit = encode_image_with_window(&t, 7, &RetryWindow::new());
+        assert_eq!(plain.data, explicit.data, "empty window must be elided");
+        let (_, _, w) = decode_image_with_window(plain.data.clone()).unwrap();
+        assert!(w.is_empty(), "pre-extension images decode to an empty window");
+    }
+
+    #[test]
+    fn windowed_image_corruption_detected_at_every_byte() {
+        use crate::retry::{RetryEntry, RetryOutcome, RetryWindow};
+        let mut win = RetryWindow::new();
+        win.record(1, 1, RetryEntry { outcome: RetryOutcome::Done, token: None });
+        let img = encode_image_with_window(&sample_tree(), 1, &win);
+        for i in 0..img.data.len() {
+            let mut bad = img.data.to_vec();
+            bad[i] ^= 0x55;
+            assert!(decode_image(Bytes::from(bad)).is_err(), "flip at byte {i}");
+        }
     }
 
     #[test]

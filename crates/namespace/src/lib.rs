@@ -18,19 +18,23 @@ pub mod image;
 pub mod inode;
 pub mod partition;
 pub mod path;
+pub mod retry;
 pub mod shard;
 pub mod tree;
 
 pub use blocks::{BlockInfo, BlockMap};
 pub use delta::{
-    apply_delta, decode_delta, encode_delta, fold_delta, peek_delta_range, DecodedDelta,
-    DeltaEntry, DeltaImage, DeltaNamespace, DeltaOp, DELTA_MAGIC, DELTA_VERSION,
+    apply_delta, decode_delta, encode_delta, encode_delta_with_window, fold_delta,
+    fold_delta_with_window, peek_delta_range, DecodedDelta, DeltaEntry, DeltaImage, DeltaNamespace,
+    DeltaOp, DELTA_MAGIC, DELTA_VERSION,
 };
 pub use image::{
-    decode_image, encode_image, encode_image_v1, estimated_image_bytes, ImageError, NamespaceImage,
+    decode_image, decode_image_with_window, encode_image, encode_image_v1,
+    encode_image_with_window, estimated_image_bytes, ImageError, NamespaceImage,
     StreamingImageDecoder, VERSION_V1, VERSION_V2,
 };
 pub use inode::{FileInfo, Inode, InodeId};
 pub use partition::Partitioner;
+pub use retry::{replay_outcome, RetryEntry, RetryOutcome, RetryWindow, DEFAULT_WINDOW_CAP};
 pub use shard::{CacheStats, ShardedNamespace, ShardedReplaySession, SnapshotView};
 pub use tree::{NamespaceTree, NsError, ReplaySession};

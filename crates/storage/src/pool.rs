@@ -7,7 +7,8 @@ use std::sync::Arc;
 use bytes::Bytes;
 use mams_journal::{AppendOutcome, JournalLog, SharedBatch, Sn};
 use mams_namespace::{
-    apply_delta, decode_delta, decode_image, encode_image, DeltaImage, NamespaceImage,
+    apply_delta, decode_delta, decode_image_with_window, encode_image_with_window, DeltaImage,
+    NamespaceImage,
 };
 use parking_lot::Mutex;
 
@@ -299,7 +300,7 @@ impl GroupStore {
         let base = self.manifest.base().expect("deltas imply a base").clone();
         let base_bytes =
             self.artifacts.get(&base.id).ok_or(PoolError::NoSuchArtifact { id: base.id })?;
-        let (mut tree, _) = decode_image(base_bytes.clone())
+        let (mut tree, _, mut window) = decode_image_with_window(base_bytes.clone())
             .map_err(|e| PoolError::Corrupt(format!("base {}: {e}", base.id)))?;
         let mut end_sn = base.end_sn;
         for entry in self.manifest.deltas() {
@@ -310,8 +311,15 @@ impl GroupStore {
             apply_delta(&mut tree, &decoded)
                 .map_err(|e| PoolError::Corrupt(format!("delta {} apply: {e}", entry.id)))?;
             end_sn = decoded.end_sn;
+            // Each windowed delta carries the full retry window as of its
+            // end sn; the merged base adopts the newest one. (A window only
+            // ever empties when no acks were journaled at all, so an empty
+            // section just means "nothing to carry" — keep what we have.)
+            if !decoded.window.is_empty() {
+                window = decoded.window;
+            }
         }
-        let merged = encode_image(&tree, end_sn);
+        let merged = encode_image_with_window(&tree, end_sn, &window);
         let id = self.alloc_artifact(merged.data.clone());
         self.staged_base = Some((id, merged));
         Ok(Some(id))
@@ -630,6 +638,37 @@ mod tests {
         assert_eq!(g.manifest().end_sn(), 6);
         let tail = g.read_journal(4, 10).unwrap();
         assert_eq!(tail.iter().map(|b| b.sn).collect::<Vec<_>>(), vec![5, 6]);
+    }
+
+    #[test]
+    fn compaction_carries_retry_window_from_newest_delta() {
+        use mams_namespace::{fold_delta_with_window, RetryEntry, RetryOutcome, RetryWindow};
+        let mut g = GroupStore::default();
+        let mut t = NamespaceTree::new();
+        t.mkdir("/d").unwrap();
+        g.write_image(1, encode_image(&t, 1)).unwrap();
+        // Delta 1 carries a window; delta 2 (pre-extension producer) does
+        // not; delta 3 carries a newer window. The merged base must hold
+        // delta 3's window.
+        let mut old_win = RetryWindow::new();
+        old_win.record(7, 1, RetryEntry { outcome: RetryOutcome::Done, token: None });
+        let mut new_win = RetryWindow::new();
+        new_win.record(7, 1, RetryEntry { outcome: RetryOutcome::Done, token: None });
+        new_win.record(7, 2, RetryEntry { outcome: RetryOutcome::Block(31), token: None });
+        for (i, win) in [old_win, RetryWindow::new(), new_win.clone()].into_iter().enumerate() {
+            let sn = 1 + i as u64;
+            let txn = Txn::Create { path: format!("/d/f{i}"), replication: 3 };
+            t.apply(&txn).unwrap();
+            g.append_delta(1, fold_delta_with_window(&t, sn, sn + 1, [&txn], &win)).unwrap();
+        }
+        g.compact().unwrap().unwrap();
+        let m = g.manifest().clone();
+        let base = m.base().expect("merged base");
+        let (data, _) = g.artifact_chunk(base.id, 0, u64::MAX).unwrap();
+        let (merged, sn, win) = mams_namespace::decode_image_with_window(data).unwrap();
+        assert_eq!(sn, 4);
+        assert_eq!(merged.fingerprint(), t.fingerprint());
+        assert_eq!(win, new_win);
     }
 
     #[test]
